@@ -1,0 +1,64 @@
+"""Ablation: FEAST contour resolution and annulus radius.
+
+Design choices DESIGN.md calls out: the number of trapezoid points per
+circle and the annulus radius R trade solves against accuracy.  The
+bench verifies the expected monotonicity (more points never lose modes;
+bigger R keeps more decaying modes) and times the contour solve.
+"""
+
+import numpy as np
+
+from repro.basis import tight_binding_set
+from repro.hamiltonian import build_device
+from repro.obc import PolynomialEVP, feast_annulus
+from repro.structure import silicon_nanowire
+
+
+def _pevp(energy=-4.0):
+    wire = silicon_nanowire(1.0, 3)
+    lead = build_device(wire, tight_binding_set(), num_cells=3).lead
+    return PolynomialEVP(lead.h_cells, lead.s_cells, energy)
+
+
+def test_contour_points_ablation(benchmark, reportout):
+    pevp = _pevp()
+    lams_d, _ = pevp.solve_dense()
+    want = int(np.sum((np.abs(lams_d) < 3.0) & (np.abs(lams_d) > 1 / 3.0)))
+
+    counts = {}
+    for npts in (4, 8, 16):
+        res = feast_annulus(pevp, r_outer=3.0, num_points=npts, seed=2)
+        counts[npts] = (res.num_modes, float(res.residuals.max())
+                        if res.num_modes else 0.0, res.num_solves)
+
+    benchmark.pedantic(feast_annulus, args=(pevp,),
+                       kwargs=dict(r_outer=3.0, num_points=8, seed=2),
+                       rounds=3, iterations=1)
+    # 8 points suffice on this lead; 16 must not do worse
+    assert counts[8][0] == want
+    assert counts[16][0] == want
+    lines = ["FEAST contour ablation (dense reference: "
+             f"{want} modes in annulus):"]
+    for npts, (n, r, solves) in counts.items():
+        lines.append(f"  {npts:2d} pts/circle: {n} modes, max residual "
+                     f"{r:.1e}, {solves} P(z) factorizations")
+    reportout("\n".join(lines))
+
+
+def test_annulus_radius_ablation(benchmark, reportout):
+    pevp = _pevp()
+    lams_d, _ = pevp.solve_dense()
+    rows = []
+    prev = -1
+    for r in (1.5, 3.0, 6.0):
+        want = int(np.sum((np.abs(lams_d) < r) & (np.abs(lams_d) > 1 / r)))
+        res = feast_annulus(pevp, r_outer=r, num_points=12, seed=4)
+        assert res.num_modes == want
+        assert res.num_modes >= prev  # larger annulus keeps more modes
+        prev = res.num_modes
+        rows.append(f"  R = {r:3.1f}: {res.num_modes} modes "
+                    f"(subspace {res.subspace_size})")
+    benchmark.pedantic(feast_annulus, args=(pevp,),
+                       kwargs=dict(r_outer=3.0, num_points=12, seed=4),
+                       rounds=3, iterations=1)
+    reportout("FEAST annulus-radius ablation:\n" + "\n".join(rows))

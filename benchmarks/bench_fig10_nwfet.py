@@ -1,0 +1,14 @@
+"""Fig. 10 — NWFET charge, current map, spectral current."""
+
+import numpy as np
+
+from repro.experiments import fig10_nwfet
+
+
+def test_fig10(benchmark, reportout):
+    results = benchmark.pedantic(fig10_nwfet.run, rounds=1, iterations=1)
+    dens = results["density_slab"]
+    assert dens[len(dens) // 2] < 0.5 * dens[0]
+    prof = results["current_profile"]
+    np.testing.assert_allclose(prof, prof[0], rtol=1e-6, atol=1e-12)
+    reportout(fig10_nwfet.report(results))

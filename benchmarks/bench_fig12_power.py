@@ -1,0 +1,10 @@
+"""Fig. 12(a) — power profile and MFLOPS/W."""
+
+from repro.experiments import fig12_power
+
+
+def test_fig12(benchmark, reportout):
+    results = benchmark(fig12_power.run)
+    assert abs(results["avg_machine_mw"] - 7.6) < 1.5
+    assert abs(results["avg_gpu_w"] - 146.0) < 25.0
+    reportout(fig12_power.report(results))

@@ -1,0 +1,16 @@
+"""Fig. 1(b) — LDA vs HSE06 nanowire transmission."""
+
+from repro.experiments import fig1b_transmission
+
+
+def test_fig1b(benchmark, reportout):
+    results = benchmark.pedantic(fig1b_transmission.run, rounds=1,
+                                 iterations=1)
+    assert results["gap_hse06"] > results["gap_lda"]
+    e = results["energies"]
+    g_l = fig1b_transmission.transmission_gap(
+        e, results["transmission"]["lda"])
+    g_h = fig1b_transmission.transmission_gap(
+        e, results["transmission"]["hse06"])
+    assert g_h > g_l
+    reportout(fig1b_transmission.report(results))

@@ -1,0 +1,12 @@
+"""Fig. 1(d) — Id-Vgs transfer characteristics."""
+
+from repro.experiments import fig1d_transfer
+
+
+def test_fig1d(benchmark, reportout):
+    results = benchmark.pedantic(fig1d_transfer.run, rounds=1,
+                                 iterations=1)
+    currents = [p.current for p in results["points"]]
+    assert all(b > a for a, b in zip(currents, currents[1:]))
+    assert results["subthreshold_swing_mv_dec"] > 55.0
+    reportout(fig1d_transfer.report(results))

@@ -1,0 +1,11 @@
+"""Fig. 1(e,f) — SnO anode expansion and current blockade."""
+
+from repro.experiments import fig1ef_anode
+
+
+def test_fig1ef(benchmark, reportout):
+    results = benchmark.pedantic(fig1ef_anode.run, rounds=1, iterations=1)
+    t = results["transmission"]
+    caps = sorted(t)
+    assert t[caps[-1]] < 0.5 * t[caps[0]]
+    reportout(fig1ef_anode.report(results))

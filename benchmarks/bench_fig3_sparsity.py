@@ -1,0 +1,9 @@
+"""Fig. 3 — DFT vs tight-binding sparsity."""
+
+from repro.experiments import fig3_sparsity
+
+
+def test_fig3(benchmark, reportout):
+    results = benchmark.pedantic(fig3_sparsity.run, rounds=1, iterations=1)
+    assert results["ratio"] > 20
+    reportout(fig3_sparsity.report(results))

@@ -1,0 +1,9 @@
+"""Fig. 5 — FEAST annulus selection (and its wall time)."""
+
+from repro.experiments import fig5_feast
+
+
+def test_fig5(benchmark, reportout):
+    results = benchmark(fig5_feast.run)
+    assert results["feast_found"] == results["dense_inside"]
+    reportout(fig5_feast.report(results))

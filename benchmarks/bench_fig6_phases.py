@@ -1,0 +1,10 @@
+"""Fig. 6 / Fig. 12(b) — SplitSolve phase timeline and device activity."""
+
+from repro.experiments import fig6_phases
+
+
+def test_fig6(benchmark, reportout):
+    results = benchmark.pedantic(fig6_phases.run, rounds=1, iterations=1)
+    assert "postprocessing" in results["phase_times"]
+    assert len(results["activity"]) == results["num_devices"]
+    reportout(fig6_phases.report(results))

@@ -1,0 +1,12 @@
+"""Fig. 7 — SplitSolve weak/strong scaling (measured + modelled)."""
+
+from repro.experiments import fig7_splitsolve_scaling
+
+
+def test_fig7(benchmark, reportout):
+    results = benchmark.pedantic(fig7_splitsolve_scaling.run, rounds=1,
+                                 iterations=1)
+    model = results["weak_model"]
+    assert model[32] > model[2]  # spike merges cost time, as published
+    assert 5 < results["modelled_spike_step_s"] < 20  # paper: ~10 s
+    reportout(fig7_splitsolve_scaling.report(results))

@@ -1,0 +1,15 @@
+"""Fig. 8 — shift-invert+direct vs FEAST+direct vs FEAST+SplitSolve."""
+
+from repro.experiments import fig8_algorithms
+
+
+def test_fig8(benchmark, reportout):
+    results = benchmark.pedantic(fig8_algorithms.run, rounds=1,
+                                 iterations=1)
+    ts = list(results["transmissions"].values())
+    assert max(ts) - min(ts) < 1e-3
+    assert results["speedup_total"] > 2.0
+    nt = results["node_times"]
+    assert nt["feast+splitsolve"] < nt["feast+direct"] \
+        < nt["shift_invert+direct"]
+    reportout(fig8_algorithms.report(results))

@@ -1,0 +1,28 @@
+"""Conclusion claim: FEAST and SplitSolve are compute bound (roofline)."""
+
+from repro.hardware.specs import K20X
+from repro.linalg import ledger_scope
+from repro.obc import feast_annulus
+from repro.perfmodel.roofline import workload_roofline
+from repro.solvers import SplitSolve
+from tests.test_obc_polynomial import random_pevp
+from tests.test_solvers import make_system
+
+
+def test_roofline_compute_bound(benchmark, reportout):
+    def analyze():
+        a, sl, sr, bt, bb = make_system(nb=8, bs=32, seed=80)
+        with ledger_scope() as led_ss:
+            SplitSolve(a, 2, parallel=False).solve(sl, sr, bt, bb)
+        pevp = random_pevp(n=24, nbw=2, seed=81)
+        with ledger_scope() as led_f:
+            feast_annulus(pevp, r_outer=2.5, seed=5)
+        return (workload_roofline(led_ss, K20X, "SplitSolve"),
+                workload_roofline(led_f, K20X, "FEAST"))
+
+    p_ss, p_f = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    assert p_ss.compute_bound
+    assert p_f.compute_bound
+    reportout("Roofline on Tesla K20X (paper §6: 'both algorithms have "
+              "high arithmetic intensity and are clearly compute "
+              f"bound'):\n  {p_ss.row()}\n  {p_f.row()}")

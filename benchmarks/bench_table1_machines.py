@@ -1,0 +1,10 @@
+"""Table I — machine specifications."""
+
+from repro.experiments import table1_machines
+
+
+def test_table1(benchmark, reportout):
+    results = benchmark(table1_machines.run)
+    for name, row in results["machines"].items():
+        assert row["nodes"] == results["paper"][name]["nodes"]
+    reportout(table1_machines.report(results))

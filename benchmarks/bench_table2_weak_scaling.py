@@ -1,0 +1,11 @@
+"""Table II / Fig. 11(a) — OMEN weak scaling on simulated Titan."""
+
+from repro.experiments import fig11_scaling_tables
+
+
+def test_table2(benchmark, reportout):
+    results = benchmark(fig11_scaling_tables.run)
+    for row in results["weak"]:
+        assert 11.5 < row.avg_e_per_node < 15.5
+    assert results["weak_spread"] < 0.25
+    reportout(fig11_scaling_tables.report(results))

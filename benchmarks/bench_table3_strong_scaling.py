@@ -1,0 +1,14 @@
+"""Table III / Fig. 11(b) — strong scaling and sustained PFlop/s."""
+
+from repro.experiments import fig11_scaling_tables
+
+
+def test_table3(benchmark, reportout):
+    results = benchmark(fig11_scaling_tables.run)
+    for est, eff, paper in zip(results["strong"],
+                               results["strong_efficiency"],
+                               fig11_scaling_tables.PAPER_TABLE3):
+        assert abs(est.wall_time_s - paper[1]) / paper[1] < 0.10
+        assert abs(eff * 100 - paper[2]) < 2.5
+        assert abs(est.sustained_pflops - paper[3]) / paper[3] < 0.10
+    reportout(fig11_scaling_tables.report(results))

@@ -1,0 +1,10 @@
+"""Section 5C — NWFET time-to-solution."""
+
+from repro.experiments import time_to_solution
+
+
+def test_time_to_solution(benchmark, reportout):
+    results = benchmark(time_to_solution.run)
+    assert 50 < results["time_per_point_s"] < 200
+    assert results["sc_iteration_min"] < 10.0
+    reportout(time_to_solution.report(results))

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Every benchmark prints its experiment's paper-vs-measured report (run
+with ``-s`` to see them) and asserts the reproduction criterion, so
+``pytest benchmarks/ --benchmark-only`` doubles as the full experiment
+regeneration pass.
+"""
+
+import pytest
+
+
+@pytest.fixture
+def reportout(capsys):
+    """Print a report so it survives pytest's capture when -s is off."""
+
+    def _print(text):
+        with capsys.disabled():
+            print()
+            print(text)
+
+    return _print

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Lithium-ion battery anode conductivity (Fig. 1e,f).
+
+The paper's second flagship application: how lithiation degrades the
+electronic conductivity of a tin-oxide anode.  This example sweeps the
+state of charge, printing the volume expansion (Fig. 1e) and the average
+transmission through the electrode (Fig. 1f) — the current through the
+central Li-oxide region collapses as capacity grows.
+
+Run:  python examples/battery_anode.py
+"""
+
+import numpy as np
+
+from repro.basis import tight_binding_set
+from repro.core.energygrid import lead_band_structure
+from repro.hamiltonian import build_device
+from repro.negf import qtbm_energy_point
+from repro.structure import lithiated_sno_anode
+from repro.structure.anode import volume_expansion
+
+
+def main():
+    basis = tight_binding_set(cutoff=0.36)
+    capacities = [0.0, 300.0, 600.0, 1000.0]
+    print("SnO anode vs state of charge")
+    print(f"  {'C(mAh/g)':>9s} {'V/V0':>6s} {'atoms':>6s} "
+          f"{'<T>':>7s} {'blocked':>8s}")
+    t0 = None
+    for cap in capacities:
+        anode = lithiated_sno_anode(cap, cells_x=10, cells_yz=2,
+                                    disorder=0.015, contact_cells=3,
+                                    seed=7)
+        dev = build_device(anode, basis, num_cells=10)
+        _, bands = lead_band_structure(dev.lead, 21)
+        widths = bands.max(axis=0) - bands.min(axis=0)
+        b = int(np.argmax(widths))
+        es = np.linspace(bands[:, b].min() + 0.15 * widths[b],
+                         bands[:, b].max() - 0.15 * widths[b], 5)
+        tvals = [qtbm_energy_point(dev, e, obc_method="dense",
+                                   solver="rgf").transmission_lr
+                 for e in es]
+        tavg = float(np.mean(tvals))
+        if t0 is None:
+            t0 = tavg
+        print(f"  {cap:9.0f} {1 + volume_expansion(cap):6.2f} "
+              f"{anode.num_atoms:6d} {tavg:7.3f} "
+              f"{100 * (1 - tavg / t0):7.0f}%")
+    print("\nThe lithiated central region blocks the current, as in the "
+          "paper's Fig. 1(f).")
+
+
+if __name__ == "__main__":
+    main()

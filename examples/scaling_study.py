@@ -1,0 +1,29 @@
+#!/usr/bin/env python
+"""Regenerate the paper's supercomputer results on the simulated Titan.
+
+Prints Table I (machines), Table II (weak scaling), Table III (strong
+scaling + 13 PFlop/s), the Fig. 7 SplitSolve scaling (measured on this
+host and modelled at paper scale), the Fig. 12 power profile, and the
+Section 5C time-to-solution — each next to the paper's published values.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.experiments import (
+    fig7_splitsolve_scaling,
+    fig11_scaling_tables,
+    fig12_power,
+    table1_machines,
+    time_to_solution,
+)
+
+
+def main():
+    for mod in (table1_machines, fig11_scaling_tables,
+                fig7_splitsolve_scaling, fig12_power, time_to_solution):
+        print(mod.report(mod.run()))
+        print()
+
+
+if __name__ == "__main__":
+    main()

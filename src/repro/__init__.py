@@ -1,0 +1,29 @@
+"""repro — ab-initio quantum transport at scale, in Python.
+
+A from-scratch reproduction of the SC'15 paper *"Pushing Back the Limit of
+Ab-initio Quantum Transport Simulations on Hybrid Supercomputers"*
+(Calderara et al.), combining
+
+* a localized-orbital Hamiltonian generator standing in for CP2K,
+* the OMEN quantum-transport engine (wave-function and NEGF formalisms),
+* the paper's two algorithmic contributions — the non-Hermitian **FEAST**
+  contour eigensolver for open boundary conditions and the **SplitSolve**
+  multi-accelerator block-tridiagonal solver — together with all the
+  baselines they are compared against (Sancho–Rubio decimation,
+  shift-and-invert, sparse-direct "MUMPS", RGF, block cyclic reduction),
+* a simulated hybrid supercomputer (Cray-XK7 Titan / Cray-XC30 Piz Daint)
+  used to regenerate the paper's scaling and performance results.
+
+Quick start::
+
+    from repro import api
+    device = api.silicon_nanowire_device(diameter_nm=1.0, length_cells=12)
+    result = api.transmission(device, energies=[0.1, 0.2, 0.3])
+
+See ``README.md`` and ``DESIGN.md`` for the architecture overview and
+``EXPERIMENTS.md`` for the paper-vs-measured record of every table/figure.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,51 @@
+"""Command-line entry point: list and run the paper's experiments.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig5
+    python -m repro run all
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables/figures of Calderara et al., "
+                    "SC'15 (OMEN+CP2K, FEAST+SplitSolve)")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    runp = sub.add_parser("run", help="run one experiment (or 'all')")
+    runp.add_argument("name", help="experiment id from 'list', or 'all'")
+    args = parser.parse_args(argv)
+
+    from repro.experiments import ALL_EXPERIMENTS
+
+    if args.command == "list":
+        for name, mod in ALL_EXPERIMENTS.items():
+            doc = (mod.__doc__ or "").strip().splitlines()[0]
+            print(f"  {name:<16s} {doc}")
+        return 0
+
+    names = list(ALL_EXPERIMENTS) if args.name == "all" else [args.name]
+    for name in names:
+        if name not in ALL_EXPERIMENTS:
+            print(f"unknown experiment {name!r}; try 'python -m repro "
+                  f"list'", file=sys.stderr)
+            return 2
+        mod = ALL_EXPERIMENTS[name]
+        t0 = time.perf_counter()
+        results = mod.run()
+        print(mod.report(results))
+        print(f"[{name}: {time.perf_counter() - t0:.1f} s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,29 @@
+"""Localized-orbital basis sets.
+
+Two families, mirroring the paper's Fig. 3 comparison:
+
+* ``tight_binding`` — one s+p shell per atom (4 orbitals), strictly
+  nearest-neighbour: the sparsity OMEN's original algorithms were built for.
+* ``gaussian_3sp`` — three s+p shells per atom (12 orbitals, matching the
+  paper's NSS = 12 x N_atoms), with diffuse tails reaching second/third
+  neighbours: the CP2K contracted-Gaussian sparsity (~100x more non-zeros)
+  that motivates FEAST+SplitSolve.
+"""
+
+from repro.basis.shells import Shell, SpeciesBasis, BasisSet
+from repro.basis.sets import (
+    tight_binding_set,
+    gaussian_3sp_set,
+    functional_shift,
+    FUNCTIONALS,
+)
+
+__all__ = [
+    "Shell",
+    "SpeciesBasis",
+    "BasisSet",
+    "tight_binding_set",
+    "gaussian_3sp_set",
+    "functional_shift",
+    "FUNCTIONALS",
+]

@@ -1,0 +1,31 @@
+"""Physical constants (SI unless noted) and unit conventions.
+
+Package conventions: energies in eV, lengths in nm, temperatures in K.
+Currents from the Landauer formula come out in amperes.
+"""
+
+#: Elementary charge (C).
+ELEMENTARY_CHARGE = 1.602176634e-19
+
+#: Planck constant (J s).
+PLANCK = 6.62607015e-34
+
+#: Reduced Planck constant (J s).
+HBAR = 1.054571817e-34
+
+#: Boltzmann constant (eV / K).
+KB_EV = 8.617333262e-5
+
+#: Conductance quantum per spin, e^2/h (S).
+G0_PER_SPIN = ELEMENTARY_CHARGE ** 2 / PLANCK
+
+#: Landauer prefactor 2e/h in A/eV (spin-degenerate current per unit
+#: transmission per eV of energy window).
+LANDAUER_2E_OVER_H = 2.0 * ELEMENTARY_CHARGE / PLANCK * ELEMENTARY_CHARGE
+
+#: Vacuum permittivity (F/m).
+EPS0 = 8.8541878128e-12
+
+#: Relative permittivities used by the Poisson solver.
+EPS_SI = 11.7
+EPS_SIO2 = 3.9

@@ -1,0 +1,46 @@
+"""The transport driver — OMEN's outer loops.
+
+Puts the pieces together the way Fig. 2 / Fig. 9 describe: for every
+transverse momentum k and every energy E of an automatically generated
+grid, solve the open-boundary Schroedinger equation and accumulate
+transmission, charge, and current.  The k and E loops are the two
+embarrassingly parallel levels of the paper's parallelization scheme.
+"""
+
+from repro.core.energygrid import (
+    lead_band_structure,
+    band_edges,
+    adaptive_energy_grid,
+)
+from repro.core.runner import (
+    TransportSpectrum,
+    compute_spectrum,
+    landauer_current,
+)
+from repro.core.iv import (
+    gate_sweep,
+    gate_potential_profile,
+    subthreshold_swing,
+    GatePoint,
+)
+from repro.core.production import (
+    run_production,
+    ProductionResult,
+    BiasPoint,
+)
+
+__all__ = [
+    "lead_band_structure",
+    "band_edges",
+    "adaptive_energy_grid",
+    "TransportSpectrum",
+    "compute_spectrum",
+    "landauer_current",
+    "gate_sweep",
+    "gate_potential_profile",
+    "subthreshold_swing",
+    "GatePoint",
+    "run_production",
+    "ProductionResult",
+    "BiasPoint",
+]

@@ -1,0 +1,26 @@
+"""Mini density-functional layer (the physics CP2K supplies upstream).
+
+Two pieces:
+
+* :mod:`kohn_sham` — a real, small-scale Kohn-Sham SCF solver (1-D real
+  space, LDA exchange) demonstrating the upstream step of Fig. 2 on
+  model systems.
+* :mod:`scissor` — the exchange-correlation *gap correction* as it
+  reaches the transport code: hybrid functionals (HSE06) mainly open the
+  band gap relative to LDA; a scissor operator applied to the lead
+  Hamiltonian blocks shifts all conduction states by a chosen Delta,
+  reproducing the LDA-vs-HSE06 contrast of the paper's Fig. 1(b) in a
+  controlled way.
+"""
+
+from repro.dft.kohn_sham import KohnShamResult, kohn_sham_1d
+from repro.dft.scissor import scissor_lead, lead_gap
+from repro.hamiltonian.device import synthetic_device_from_lead
+
+__all__ = [
+    "KohnShamResult",
+    "kohn_sham_1d",
+    "scissor_lead",
+    "lead_gap",
+    "synthetic_device_from_lead",
+]

@@ -1,0 +1,46 @@
+"""Per-table/figure reproduction experiments.
+
+One module per table and figure of the paper's evaluation (see DESIGN.md
+for the index).  Every module exposes
+
+* ``run(**params) -> dict`` — execute the experiment at laptop scale
+  (paper-scale parameters available via keyword arguments) and return
+  structured results, and
+* ``report(results) -> str`` — render the same rows/series the paper
+  reports, annotated with the paper's published values where applicable.
+
+``benchmarks/`` times these ``run`` functions with pytest-benchmark;
+EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments import (  # noqa: F401
+    fig1b_transmission,
+    fig1d_transfer,
+    fig1ef_anode,
+    fig3_sparsity,
+    fig5_feast,
+    fig6_phases,
+    fig7_splitsolve_scaling,
+    fig8_algorithms,
+    fig10_nwfet,
+    fig11_scaling_tables,
+    fig12_power,
+    table1_machines,
+    time_to_solution,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1b": fig1b_transmission,
+    "fig1d": fig1d_transfer,
+    "fig1ef": fig1ef_anode,
+    "fig3": fig3_sparsity,
+    "fig5": fig5_feast,
+    "fig6": fig6_phases,
+    "fig7": fig7_splitsolve_scaling,
+    "fig8": fig8_algorithms,
+    "fig10": fig10_nwfet,
+    "fig11+tables2,3": fig11_scaling_tables,
+    "fig12": fig12_power,
+    "table1": table1_machines,
+    "sec5c": time_to_solution,
+}

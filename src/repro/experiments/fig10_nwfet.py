@@ -1,0 +1,114 @@
+"""Fig. 10: charge, current map, and spectral current of a GAA NWFET.
+
+Paper: d = 3.2 nm, Lg = 64.3 nm, 55 488 atoms at Vds = 0.6 V; shows (a)
+the electron distribution depleted under the gate, (b) the current map,
+(c) the spectral current flowing above the conduction-band barrier.
+Scaled-down here; the same observables are produced from the same
+scattering-state machinery.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.basis import tight_binding_set
+from repro.core import gate_potential_profile
+from repro.core.energygrid import lead_band_structure
+from repro.hamiltonian import build_device
+from repro.negf import (
+    atom_density,
+    orbital_density,
+    qtbm_energy_point,
+    spectral_current_map,
+)
+from repro.structure import silicon_nanowire
+
+
+def run(diameter_nm: float = 1.0, num_cells: int = 8,
+        vds: float = 0.15, barrier_ev: float = 0.25,
+        num_energies: int = 15) -> dict:
+    wire = silicon_nanowire(diameter_nm, num_cells)
+    dev0 = build_device(wire, tight_binding_set(), num_cells=num_cells)
+    pot = gate_potential_profile(dev0.structure, v_builtin=barrier_ev,
+                                 vgs=0.0)
+    dev = dev0.with_potential(pot)
+
+    _, bands = lead_band_structure(dev.lead, 15)
+    # conduction-side window: from just below to above the barrier
+    e_cond = _conduction_edge(bands)
+    mu_s = e_cond + 0.05
+    mu_d = mu_s - vds
+    energies = np.linspace(e_cond - 0.05, e_cond + barrier_ev + 0.25,
+                           num_energies)
+
+    results = []
+    dens_orb = None
+    for e in energies:
+        res = qtbm_energy_point(dev, e, obc_method="dense", solver="rgf")
+        results.append(res)
+        contrib = orbital_density(res, dev.smat, mu_s, mu_d)
+        dens_orb = contrib if dens_orb is None else dens_orb + contrib
+
+    density = atom_density(dens_orb, dev.orbital_offsets)
+    spectral = spectral_current_map(results, dev, mu_s, mu_d)
+    current_profile = spectral.sum(axis=0)
+
+    # per-slab (x-resolved) charge for the Fig. 10(a) depletion picture
+    per_slab = np.zeros(dev.num_cells)
+    np.add.at(per_slab, dev.atom_slab, density)
+    return {
+        "energies": energies,
+        "density_atom": density,
+        "density_slab": per_slab,
+        "spectral_current": spectral,
+        "current_profile": current_profile,
+        "barrier_ev": barrier_ev,
+        "conduction_edge": e_cond,
+        "potential": pot,
+        "mu_source": mu_s,
+        "mu_drain": mu_d,
+    }
+
+
+def _conduction_edge(bands: np.ndarray) -> float:
+    """Bottom of the band group above the largest gap."""
+    e = np.sort(bands.ravel())
+    e = e[(e > -15) & (e < 15)]
+    gaps = np.diff(e)
+    i = int(np.argmax(gaps))
+    return float(e[i + 1])
+
+
+def report(results: dict) -> str:
+    dens = results["density_slab"]
+    prof = results["current_profile"]
+    spec = results["spectral_current"]
+    mid = len(dens) // 2
+    depleted = dens[mid] < 0.8 * max(dens[0], 1e-30)
+    conserved = np.allclose(prof, prof[0], rtol=1e-6, atol=1e-12)
+    lines = [
+        "Fig. 10 — GAA NWFET observables at bias",
+        f"  (a) charge/slab (x-resolved): "
+        + " ".join(f"{d:.2f}" for d in dens),
+        f"      gate-region depletion -> "
+        f"{'REPRODUCED' if depleted else 'NOT reproduced'}",
+        f"  (b) current map: uniform along x (conservation) -> "
+        f"{'YES' if conserved else 'NO'}; I ~ {prof[0]:.3e} (arb)",
+        "  (c) spectral current I(E):",
+    ]
+    peak = max(spec.mean(axis=1).max(), 1e-30)
+    mu_s = results["mu_source"]
+    ec = results["conduction_edge"]
+    for i, e in enumerate(results["energies"]):
+        bar = "#" * int(40 * spec[i].mean() / peak)
+        mark = "  <- mu_source" if abs(e - mu_s) == min(
+            abs(results["energies"] - mu_s)) else ""
+        lines.append(f"      E={e:7.3f}  {bar}{mark}")
+    e_peak = results["energies"][int(np.argmax(spec.mean(axis=1)))]
+    window = ec - 0.02 <= e_peak <= ec + results["barrier_ev"] + 0.05
+    lines.append(
+        f"      spectral current concentrated between the source Fermi "
+        f"level ({mu_s:.2f} eV) and the barrier top "
+        f"(E_c + {results['barrier_ev']:.2f}), as in the paper's "
+        f"Fig. 10(c) -> {'REPRODUCED' if window else 'check window'}")
+    return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Assembly of real-space H and S matrices from a structure and basis.
+
+The builder produces *image-resolved* matrices: for every transverse
+periodic image shift R = (n_y, n_z) within the interaction cutoff it
+returns sparse H_R, S_R with
+
+    H(k) = sum_R exp(2 pi i k . R) H_R                      (Hermitian)
+
+assembled later by :mod:`repro.hamiltonian.kspace`.  The transport axis x
+is never wrapped: the device region is finite and its contact continuation
+is handled by the open boundary conditions (Eq. 5), exactly as in OMEN.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.spatial import cKDTree
+
+from repro.basis.shells import BasisSet
+from repro.hamiltonian.slater_koster import (
+    ETA_HAMILTONIAN,
+    ETA_OVERLAP,
+    atom_pair_block,
+    onsite_block,
+)
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class RealSpaceMatrices:
+    """Image-resolved H/S of one structure in one basis.
+
+    Attributes
+    ----------
+    images : dict
+        ``(ny, nz) -> (H_R, S_R)`` as CSR matrices of size norb x norb.
+        Contains every image with any interaction, including (0, 0);
+        ``H_{-R} = H_R^T`` is stored explicitly.
+    offsets : (N+1,) int array
+        Orbital offset of each atom (``offsets[-1] == norb``).
+    """
+
+    structure: object
+    basis: BasisSet
+    images: dict
+    offsets: np.ndarray
+
+    @property
+    def norb(self) -> int:
+        return int(self.offsets[-1])
+
+    @property
+    def home(self):
+        """The R = (0, 0) pair (H_0, S_0)."""
+        return self.images[(0, 0)]
+
+
+def _transverse_image_shifts(structure, cutoff: float):
+    """Periodic image shifts (ny, nz) that can host interactions."""
+    shifts = [(0, 0)]
+    ny_max = nz_max = 0
+    if structure.periodic[1]:
+        ny_max = int(np.ceil(cutoff / structure.cell[1, 1]))
+    if structure.periodic[2]:
+        nz_max = int(np.ceil(cutoff / structure.cell[2, 2]))
+    for ny in range(-ny_max, ny_max + 1):
+        for nz in range(-nz_max, nz_max + 1):
+            if (ny, nz) != (0, 0):
+                shifts.append((ny, nz))
+    return shifts
+
+
+def build_matrices(structure, basis: BasisSet) -> RealSpaceMatrices:
+    """Build image-resolved H and S.
+
+    Notes
+    -----
+    * Only axes 1 (y) and 2 (z) are treated as periodic here even if the
+      structure is lead-periodic along x — the x repetition belongs to the
+      transport problem, not the device matrix.
+    * H and S are real; Hermiticity of H(k) follows from H_{-R} = H_R^T,
+      which this routine enforces by construction.
+    """
+    n = structure.num_atoms
+    if n == 0:
+        raise ConfigurationError("cannot build matrices for empty structure")
+    shells = [basis.for_species(sym).shells for sym in structure.species]
+    norbs = np.array([sum(sh.num_orbitals for sh in s) for s in shells])
+    offsets = np.concatenate([[0], np.cumsum(norbs)])
+    norb = int(offsets[-1])
+    cutoff = basis.cutoff
+
+    pos = structure.positions
+    tree = cKDTree(pos)
+    shifts = _transverse_image_shifts(structure, cutoff)
+
+    images = {}
+    for (ny, nz) in shifts:
+        if (ny, nz) in images:
+            continue
+        shift_vec = ny * structure.cell[1] + nz * structure.cell[2]
+        rows, cols, hvals, svals = [], [], [], []
+
+        if (ny, nz) == (0, 0):
+            # Onsite blocks.
+            for i in range(n):
+                blk = onsite_block(shells[i])
+                r, c = np.nonzero(blk)
+                rows.append(r + offsets[i])
+                cols.append(c + offsets[i])
+                hvals.append(blk[r, c])
+                # Onsite overlap (identity) is added once at the end.
+                svals.append(np.zeros(len(r)))
+            pairs = tree.query_pairs(cutoff, output_type="ndarray")
+            pair_list = [(i, j) for i, j in pairs]
+        else:
+            shifted = pos + shift_vec
+            neigh = tree.query_ball_point(shifted, cutoff)
+            pair_list = [(i, j) for j, lst in enumerate(neigh) for i in lst]
+
+        for i, j in pair_list:
+            delta = pos[j] + shift_vec - pos[i]
+            r = np.linalg.norm(delta)
+            if r < 1e-9 or r > cutoff:
+                continue
+            hblk = atom_pair_block(shells[i], shells[j], delta,
+                                   basis.energy_scale, ETA_HAMILTONIAN)
+            if basis.is_orthogonal:
+                sblk = None
+                rr, cc = np.nonzero(np.abs(hblk) > 0)
+            else:
+                sblk = atom_pair_block(shells[i], shells[j], delta,
+                                       basis.overlap_scale, ETA_OVERLAP,
+                                       basis.overlap_decay_factor)
+                rr, cc = np.nonzero(np.abs(hblk) + np.abs(sblk) > 0)
+            rows.append(rr + offsets[i])
+            cols.append(cc + offsets[j])
+            hvals.append(hblk[rr, cc])
+            svals.append(sblk[rr, cc] if sblk is not None
+                         else np.zeros(len(rr)))
+            if (ny, nz) == (0, 0):
+                # Symmetric counterpart within the home image.
+                rows.append(cc + offsets[j])
+                cols.append(rr + offsets[i])
+                hvals.append(hblk[rr, cc])
+                svals.append(sblk[rr, cc] if sblk is not None
+                             else np.zeros(len(rr)))
+
+        def _csr(vals):
+            if rows:
+                return sp.csr_matrix(
+                    (np.concatenate(vals),
+                     (np.concatenate(rows), np.concatenate(cols))),
+                    shape=(norb, norb))
+            return sp.csr_matrix((norb, norb))
+
+        h = _csr(hvals)
+        s = _csr(svals)
+        # The onsite overlap (identity) belongs to the home image only;
+        # orthogonal bases have no inter-atomic overlap at all.
+        if basis.is_orthogonal:
+            s = sp.identity(norb, format="csr") if (ny, nz) == (0, 0) \
+                else sp.csr_matrix((norb, norb))
+        elif (ny, nz) == (0, 0):
+            s = s + sp.identity(norb, format="csr")
+        images[(ny, nz)] = (h, s)
+        if (ny, nz) != (0, 0):
+            images[(-ny, -nz)] = (h.T.tocsr(), s.T.tocsr())
+
+    return RealSpaceMatrices(structure=structure, basis=basis,
+                             images=images, offsets=offsets)

@@ -1,0 +1,87 @@
+"""File-based CP2K -> OMEN matrix transfer (paper Section 4).
+
+"The coupling between the two packages currently occurs through a
+transfer of binary files.  Not all the nodes running OMEN load the
+Hamiltonian and overlap matrices, but only those necessary to gather all
+the unique parts of H and S.  The resulting data are then distributed to
+all the available MPI ranks with MPI_Bcast."
+
+This module implements that workflow: binary (compressed ``.npz``)
+serialization of the image-resolved H/S with their structural metadata,
+and a rank-0-loads + broadcast distribution over the in-process
+communicator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils.errors import ConfigurationError
+
+#: Format marker; bump on incompatible layout changes.
+FORMAT_VERSION = 1
+
+
+def save_matrices(path, rsm) -> None:
+    """Write a :class:`RealSpaceMatrices` bundle to a binary file.
+
+    Every periodic image's H_R and S_R goes in CSR-component form; the
+    orbital offsets and image shifts make the file self-describing.
+    """
+    payload = {
+        "format_version": np.array(FORMAT_VERSION),
+        "offsets": np.asarray(rsm.offsets),
+        "images": np.array([list(k) for k in rsm.images], dtype=np.int64),
+    }
+    for i, (shift, (h, s)) in enumerate(rsm.images.items()):
+        for tag, mat in (("h", h), ("s", s)):
+            csr = sp.csr_matrix(mat)
+            payload[f"{tag}{i}_data"] = csr.data
+            payload[f"{tag}{i}_indices"] = csr.indices
+            payload[f"{tag}{i}_indptr"] = csr.indptr
+    np.savez_compressed(path, **payload)
+
+
+def load_matrices(path):
+    """Load a bundle written by :func:`save_matrices`.
+
+    Returns ``(images, offsets)`` with the same layout as
+    :class:`~repro.hamiltonian.builder.RealSpaceMatrices` — the consumer
+    (OMEN side) does not need the structure/basis objects, exactly like
+    the paper's binary hand-off.
+    """
+    with np.load(path) as f:
+        version = int(f["format_version"])
+        if version != FORMAT_VERSION:
+            raise ConfigurationError(
+                f"matrix file format {version} unsupported "
+                f"(expected {FORMAT_VERSION})")
+        offsets = f["offsets"]
+        norb = int(offsets[-1])
+        images = {}
+        for i, shift in enumerate(f["images"]):
+            mats = []
+            for tag in ("h", "s"):
+                mats.append(sp.csr_matrix(
+                    (f[f"{tag}{i}_data"], f[f"{tag}{i}_indices"],
+                     f[f"{tag}{i}_indptr"]), shape=(norb, norb)))
+            images[tuple(int(x) for x in shift)] = tuple(mats)
+    return images, offsets
+
+
+def distribute_matrices(comm, path):
+    """The OMEN input stage on one rank: root loads, everyone receives.
+
+    Only rank 0 touches the file system (the "nodes necessary to gather
+    the unique parts"); the bundle then reaches every rank via the
+    broadcast collective, after which each rank can assemble its own
+    H(k), S(k).
+
+    Returns ``(images, offsets)`` on every rank.
+    """
+    if comm.rank == 0:
+        data = load_matrices(path)
+    else:
+        data = None
+    return comm.bcast(data, root=0)

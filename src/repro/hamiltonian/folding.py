@@ -1,0 +1,86 @@
+"""Supercell folding: reduce inter-cell interaction range NBW to 1.
+
+A basis whose orbitals couple cells up to NBW apart gives a block
+NBW-diagonal matrix.  Grouping g >= NBW consecutive cells into one
+super-cell makes the matrix block *tri*diagonal again at the price of
+g-times-larger blocks — this is how OMEN feeds DFT matrices to solvers
+written for nearest-neighbour block structure, and why the DFT blocks are
+so much heavier than tight-binding ones.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+def fold_block_sizes(block_sizes, group: int) -> list:
+    """Merge ``group`` consecutive block sizes into super-block sizes.
+
+    The trailing super-block absorbs any remainder blocks, so the total
+    size is preserved for any block count.
+    """
+    block_sizes = list(block_sizes)
+    if group < 1:
+        raise ConfigurationError("group must be >= 1")
+    if group > len(block_sizes):
+        raise ConfigurationError(
+            f"cannot group {group} blocks out of {len(block_sizes)}")
+    nfull = len(block_sizes) // group
+    out = [sum(block_sizes[i * group:(i + 1) * group])
+           for i in range(nfull)]
+    rem = block_sizes[nfull * group:]
+    if rem:
+        out[-1] += sum(rem)
+    return out
+
+
+def fold_lead_blocks(h_cells: list, group: int):
+    """Fold per-cell lead coupling blocks into super-cell (H00, H01).
+
+    Parameters
+    ----------
+    h_cells : list of ndarrays
+        ``h_cells[l]`` is the coupling block H_{q,q+l} between lead unit
+        cell q and q+l, for l = 0 .. NBW (uniform cell size n).  Symmetry
+        provides H_{q,q-l} = H_{q,q+l}^H.
+    group : int
+        Cells per super-cell; must be >= NBW = len(h_cells) - 1.
+
+    Returns
+    -------
+    (H00, H01) : super-cell onsite and nearest-neighbour coupling blocks,
+    each of size (group*n, group*n).
+    """
+    nbw = len(h_cells) - 1
+    if nbw < 0:
+        raise ConfigurationError("need at least the onsite block")
+    if group < max(nbw, 1):
+        raise ConfigurationError(
+            f"group ({group}) must be >= NBW ({nbw})")
+    n = h_cells[0].shape[0]
+    for l, h in enumerate(h_cells):
+        if h.shape != (n, n):
+            raise ConfigurationError(
+                f"lead block {l} has shape {h.shape}, expected {(n, n)}")
+    dtype = np.result_type(*[h.dtype for h in h_cells])
+    big = group * n
+    h00 = np.zeros((big, big), dtype=dtype)
+    h01 = np.zeros((big, big), dtype=dtype)
+
+    def cell_block(l):
+        """H_{q,q+l} for any integer l, zero beyond NBW."""
+        if abs(l) > nbw:
+            return None
+        return h_cells[l] if l >= 0 else h_cells[-l].conj().T
+
+    for a in range(group):
+        for b in range(group):
+            blk = cell_block(b - a)
+            if blk is not None:
+                h00[a * n:(a + 1) * n, b * n:(b + 1) * n] = blk
+            blk = cell_block(b + group - a)
+            if blk is not None:
+                h01[a * n:(a + 1) * n, b * n:(b + 1) * n] = blk
+    return h00, h01

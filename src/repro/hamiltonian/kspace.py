@@ -1,0 +1,74 @@
+"""Momentum-space assembly: H(k), S(k) from real-space image blocks.
+
+OMEN's first two parallelization levels loop over transverse momentum k
+and energy E (Fig. 9).  For each k this module assembles the complex
+Hermitian matrices the transport kernels consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.hamiltonian.builder import RealSpaceMatrices
+from repro.utils.errors import ConfigurationError
+
+
+def assemble_k(rsm: RealSpaceMatrices, kpoint=(0.0, 0.0)):
+    """Assemble H(k), S(k) = sum_R exp(2 pi i k.R) (H_R, S_R).
+
+    Parameters
+    ----------
+    kpoint : (2,) floats
+        Fractional momentum (k_y, k_z) in units of the transverse
+        reciprocal-lattice vectors; only periodic directions contribute.
+
+    Returns
+    -------
+    (H(k), S(k)) as CSR matrices; complex128 unless k = 0 (then the
+    imaginary part cancels exactly and real matrices are returned, which
+    the solvers exploit — "A is usually real symmetric in 3-D structures").
+    """
+    ky, kz = float(kpoint[0]), float(kpoint[1])
+    at_gamma = (ky == 0.0 and kz == 0.0)
+    norb = rsm.norb
+    dtype = np.float64 if at_gamma else np.complex128
+    hk = sp.csr_matrix((norb, norb), dtype=dtype)
+    sk = sp.csr_matrix((norb, norb), dtype=dtype)
+    for (ny, nz), (h, s) in rsm.images.items():
+        phase = np.exp(2j * np.pi * (ky * ny + kz * nz))
+        if at_gamma:
+            phase = 1.0
+        hk = hk + phase * h
+        sk = sk + phase * s
+    hk = hk.tocsr()
+    sk = sk.tocsr()
+    return hk, sk
+
+
+def transverse_k_grid(num_k: int, reduced: bool = True) -> np.ndarray:
+    """1-D transverse momentum grid (fractional k_z), Monkhorst-Pack style.
+
+    The paper's UTB scaling runs use 21 k-points.  With time-reversal
+    symmetry (real H_R), T(k) = T(-k); ``reduced=True`` returns only
+    k >= 0 with integration weights, halving the workload exactly as OMEN
+    does.
+
+    Returns
+    -------
+    (nk, 2) array of rows ``(k_fractional, weight)`` with weights summing
+    to 1.
+    """
+    if num_k < 1:
+        raise ConfigurationError("num_k must be >= 1")
+    ks = (np.arange(num_k) - (num_k - 1) / 2.0) / num_k
+    w = np.full(num_k, 1.0 / num_k)
+    if not reduced:
+        return np.column_stack([ks, w])
+    out = {}
+    for k, wi in zip(ks, w):
+        key = round(abs(k), 12)
+        out[key] = out.get(key, 0.0) + wi
+    kk = np.array(sorted(out))
+    ww = np.array([out[k] for k in kk])
+    return np.column_stack([kk, ww])

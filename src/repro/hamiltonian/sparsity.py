@@ -1,0 +1,64 @@
+"""Sparsity analytics — reproduces the paper's Fig. 3 comparison.
+
+The figure shows that the contracted-Gaussian (DFT) Hamiltonian carries
+about two orders of magnitude more non-zero entries than the tight-binding
+one for the same UTBFET, which is *the* motivation for SplitSolve: OMEN's
+tight-binding-tuned solvers stop performing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+
+@dataclass
+class SparsityReport:
+    """Non-zero statistics of one Hamiltonian."""
+
+    basis_name: str
+    num_atoms: int
+    num_orbitals: int
+    nnz: int
+    nnz_per_row: float
+    nnz_per_atom: float
+    fill_fraction: float
+    block_bandwidth: int
+
+    def row(self) -> str:
+        return (f"{self.basis_name:>6s}  atoms={self.num_atoms:<7d} "
+                f"norb={self.num_orbitals:<8d} nnz={self.nnz:<10d} "
+                f"nnz/row={self.nnz_per_row:8.1f} "
+                f"fill={self.fill_fraction:8.2e} NBW={self.block_bandwidth}")
+
+
+def sparsity_report(mat, structure, basis, cell_sizes=None) -> SparsityReport:
+    """Build a :class:`SparsityReport` for an assembled H or S."""
+    from repro.hamiltonian.partition import block_bandwidth
+
+    mat = sp.csr_matrix(mat)
+    mat.eliminate_zeros()
+    n = mat.shape[0]
+    nnz = mat.nnz
+    nbw = 0
+    if cell_sizes is not None:
+        nbw = block_bandwidth(mat, cell_sizes)
+    return SparsityReport(
+        basis_name=basis.name,
+        num_atoms=structure.num_atoms,
+        num_orbitals=n,
+        nnz=int(nnz),
+        nnz_per_row=nnz / n,
+        nnz_per_atom=nnz / structure.num_atoms,
+        fill_fraction=nnz / float(n) ** 2,
+        block_bandwidth=int(nbw),
+    )
+
+
+def nnz_ratio(dft_report: SparsityReport, tb_report: SparsityReport) -> float:
+    """DFT-to-TB non-zero ratio for the same structure (paper: ~100x)."""
+    if dft_report.num_atoms != tb_report.num_atoms:
+        raise ValueError("reports must describe the same structure")
+    return dft_report.nnz / max(tb_report.nnz, 1)

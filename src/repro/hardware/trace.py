@@ -1,0 +1,62 @@
+"""nvprof-style activity tables from real kernel events (Fig. 12b).
+
+The flop ledger's trace mode records every instrumented kernel with its
+device, tag (SplitSolve phase), and wall-clock interval.  This module
+reduces a trace to the per-device utilization table the paper plots with
+nvprof: which device ran which phase when, and what fraction of the span
+it was busy.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class DeviceActivity:
+    device: str
+    busy_s: float
+    span_s: float
+    flops: int
+    by_phase: dict
+
+    @property
+    def utilization(self) -> float:
+        return self.busy_s / self.span_s if self.span_s > 0 else 0.0
+
+
+def activity_table(events, devices=None) -> dict:
+    """Summarize kernel events per device.
+
+    Parameters
+    ----------
+    events : list of KernelEvent (from a ``FlopLedger(trace=True)``).
+    devices : iterable, optional
+        Restrict to these device names (default: all seen).
+
+    Returns
+    -------
+    dict device -> :class:`DeviceActivity`.
+    """
+    if not events:
+        raise ConfigurationError("no kernel events recorded; enable "
+                                 "tracing with ledger_scope(trace=True)")
+    per_dev = defaultdict(list)
+    for ev in events:
+        if devices is None or ev.device in devices:
+            per_dev[ev.device].append(ev)
+    out = {}
+    for dev, evs in per_dev.items():
+        t0 = min(e.t_start for e in evs)
+        t1 = max(e.t_stop for e in evs)
+        busy = sum(e.duration for e in evs)
+        phases = defaultdict(float)
+        for e in evs:
+            phases[e.tag or e.kernel] += e.duration
+        out[dev] = DeviceActivity(device=dev, busy_s=busy, span_s=t1 - t0,
+                                  flops=sum(e.flops for e in evs),
+                                  by_phase=dict(phases))
+    return out

@@ -1,0 +1,59 @@
+"""Instrumented dense/block linear algebra.
+
+This package is the equivalent of the BLAS/LAPACK + cuBLAS/MAGMA layer of
+the paper, with the PAPI/CUPTI measurement infrastructure built in: every
+kernel records its floating-point operation count and the bytes it touched
+into a :class:`~repro.linalg.flops.FlopLedger`, attributed to the currently
+active (simulated) device.  The scaling and PFlop/s experiments are driven
+by these ledgers.
+"""
+
+from repro.linalg.flops import (
+    FlopLedger,
+    KernelEvent,
+    current_ledger,
+    ledger_scope,
+    global_ledger,
+    gemm_flops,
+    lu_flops,
+    trsm_flops,
+    solve_flops,
+    eig_flops,
+)
+from repro.linalg.kernels import (
+    gemm,
+    solve,
+    solve_many,
+    lu_factor,
+    lu_solve,
+    inv,
+    eig,
+    eigh,
+    geig,
+    qr_orth,
+)
+from repro.linalg.blocktridiag import BlockTridiagonalMatrix
+
+__all__ = [
+    "FlopLedger",
+    "KernelEvent",
+    "current_ledger",
+    "ledger_scope",
+    "global_ledger",
+    "gemm_flops",
+    "lu_flops",
+    "trsm_flops",
+    "solve_flops",
+    "eig_flops",
+    "gemm",
+    "solve",
+    "solve_many",
+    "lu_factor",
+    "lu_solve",
+    "inv",
+    "eig",
+    "eigh",
+    "geig",
+    "qr_orth",
+    "BlockTridiagonalMatrix",
+]

@@ -1,0 +1,210 @@
+"""Floating-point operation accounting — the PAPI/CUPTI substitute.
+
+The paper measures CPU flops with PAPI (``PAPI_DP_OPS``) and GPU flops by
+sampling CUPTI device counters.  Here every instrumented kernel
+(:mod:`repro.linalg.kernels`) reports a *deterministic analytic* flop count
+to the active :class:`FlopLedger`.  The counts use the standard LAPACK
+conventions (one multiply + one add = 2 flops; a complex multiply-add = 8
+flops), the same accounting the paper's 15 PFlop/s figure rests on.
+
+Ledgers are thread-local by default so SPMD rank programs running on
+threads each accumulate into their own ledger; a ledger can also be shared
+explicitly via :func:`ledger_scope`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+# --------------------------------------------------------------------------
+# Analytic flop formulas (real counts; multiply by 4 for complex128,
+# following the convention that a complex mul-add costs 4x a real one).
+# --------------------------------------------------------------------------
+
+def _cplx_factor(is_complex: bool) -> int:
+    return 4 if is_complex else 1
+
+
+def gemm_flops(m: int, n: int, k: int, is_complex: bool = True) -> int:
+    """Flops of C <- A(m,k) @ B(k,n): 2mnk real, 8mnk complex."""
+    return 2 * m * n * k * _cplx_factor(is_complex)
+
+
+def lu_flops(n: int, is_complex: bool = True) -> int:
+    """Flops of an n-by-n LU factorization: (2/3)n^3 real."""
+    return int(round(2.0 / 3.0 * n ** 3)) * _cplx_factor(is_complex)
+
+
+def trsm_flops(n: int, nrhs: int, is_complex: bool = True) -> int:
+    """Flops of one triangular solve with nrhs right-hand sides: n^2*nrhs."""
+    return n * n * nrhs * _cplx_factor(is_complex)
+
+
+def solve_flops(n: int, nrhs: int, is_complex: bool = True) -> int:
+    """LU factorization + forward/backward substitution."""
+    return lu_flops(n, is_complex) + 2 * trsm_flops(n, nrhs, is_complex)
+
+
+def eig_flops(n: int, is_complex: bool = True) -> int:
+    """Nominal flops of a dense nonsymmetric eigendecomposition (~25 n^3).
+
+    LAPACK does not publish an exact count for ``zggev``/``zgeev``; 25 n^3 is
+    the customary accounting (Golub & Van Loan) also used in OMEN's own
+    estimates for the FEAST Rayleigh-Ritz step.
+    """
+    return 25 * n ** 3 * _cplx_factor(is_complex)
+
+
+# --------------------------------------------------------------------------
+# Ledger
+# --------------------------------------------------------------------------
+
+@dataclass
+class KernelEvent:
+    """One instrumented kernel execution, for activity traces (Fig. 12b)."""
+
+    kernel: str
+    device: str
+    flops: int
+    bytes_moved: int
+    t_start: float
+    t_stop: float
+    tag: str = ""
+
+    @property
+    def duration(self) -> float:
+        return self.t_stop - self.t_start
+
+
+@dataclass
+class FlopLedger:
+    """Accumulates flop/byte counts per kernel and per device.
+
+    Parameters
+    ----------
+    trace : bool
+        If true, every kernel call is also appended to :attr:`events`,
+        enabling nvprof-style activity timelines.  Off by default because
+        traces grow with the number of kernel launches.
+    """
+
+    trace: bool = False
+    flops_by_kernel: dict = field(default_factory=lambda: defaultdict(int))
+    flops_by_device: dict = field(default_factory=lambda: defaultdict(int))
+    bytes_by_device: dict = field(default_factory=lambda: defaultdict(int))
+    events: list = field(default_factory=list)
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def record(self, kernel: str, flops: int, bytes_moved: int = 0,
+               device: str = "cpu", tag: str = "",
+               t_start: float | None = None,
+               t_stop: float | None = None) -> None:
+        with self._lock:
+            self.flops_by_kernel[kernel] += flops
+            self.flops_by_device[device] += flops
+            self.bytes_by_device[device] += bytes_moved
+            if self.trace:
+                now = time.perf_counter()
+                self.events.append(KernelEvent(
+                    kernel=kernel, device=device, flops=flops,
+                    bytes_moved=bytes_moved,
+                    t_start=t_start if t_start is not None else now,
+                    t_stop=t_stop if t_stop is not None else now,
+                    tag=tag,
+                ))
+
+    @property
+    def total_flops(self) -> int:
+        with self._lock:
+            return sum(self.flops_by_device.values())
+
+    def flops_on(self, device_prefix: str) -> int:
+        """Total flops on devices whose name starts with ``device_prefix``.
+
+        Convention: simulated accelerators are named ``gpu<i>``, host CPUs
+        ``cpu<i>`` (bare ``cpu`` for un-attributed host work).
+        """
+        with self._lock:
+            return sum(v for k, v in self.flops_by_device.items()
+                       if k.startswith(device_prefix))
+
+    def merge(self, other: "FlopLedger") -> None:
+        """Fold another ledger into this one (used when joining ranks)."""
+        with self._lock, other._lock:
+            for k, v in other.flops_by_kernel.items():
+                self.flops_by_kernel[k] += v
+            for k, v in other.flops_by_device.items():
+                self.flops_by_device[k] += v
+            for k, v in other.bytes_by_device.items():
+                self.bytes_by_device[k] += v
+            self.events.extend(other.events)
+
+    def reset(self) -> None:
+        with self._lock:
+            self.flops_by_kernel.clear()
+            self.flops_by_device.clear()
+            self.bytes_by_device.clear()
+            self.events.clear()
+
+
+# --------------------------------------------------------------------------
+# Active-ledger plumbing
+# --------------------------------------------------------------------------
+
+_GLOBAL_LEDGER = FlopLedger()
+_tls = threading.local()
+
+
+def global_ledger() -> FlopLedger:
+    """The process-wide default ledger."""
+    return _GLOBAL_LEDGER
+
+
+def current_ledger() -> FlopLedger:
+    """The ledger kernel calls record into (thread-local scope aware)."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _GLOBAL_LEDGER
+
+
+@contextmanager
+def ledger_scope(ledger: FlopLedger | None = None, trace: bool = False):
+    """Route kernel accounting in this thread into ``ledger``.
+
+    Yields the ledger, creating a fresh one if none is given::
+
+        with ledger_scope() as led:
+            solve(a, b)
+        print(led.total_flops)
+    """
+    if ledger is None:
+        ledger = FlopLedger(trace=trace)
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(ledger)
+    try:
+        yield ledger
+    finally:
+        stack.pop()
+
+
+@contextmanager
+def device_scope(device: str):
+    """Attribute kernel calls in this thread to a named (simulated) device."""
+    prev = getattr(_tls, "device", "cpu")
+    _tls.device = device
+    try:
+        yield
+    finally:
+        _tls.device = prev
+
+
+def current_device() -> str:
+    return getattr(_tls, "device", "cpu")

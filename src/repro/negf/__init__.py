@@ -1,0 +1,34 @@
+"""Transport observables from the solved Schroedinger/NEGF equations.
+
+Two routes, cross-validated against each other:
+
+* **QTBM / wave function** (Eq. 5) — solve (E S - H - Sigma^RB) c = Inj
+  per injected mode; transmission from outgoing mode fluxes.  This is the
+  formalism the paper uses ("in the ballistic limit of transport it is
+  computationally more efficient to transform Eq. (4) into the Wave
+  Function formalism").
+* **NEGF** (Eq. 4) — retarded Green's function + Caroli formula
+  T = Tr[Gamma_L G Gamma_R G^H]; needs only self-energies (decimation
+  suffices), used as the independent check.
+"""
+
+from repro.negf.transmission import (
+    EnergyPointResult,
+    qtbm_energy_point,
+    negf_transmission,
+)
+from repro.negf.density import orbital_density, atom_density
+from repro.negf.current import (
+    bond_current_profile,
+    spectral_current_map,
+)
+
+__all__ = [
+    "EnergyPointResult",
+    "qtbm_energy_point",
+    "negf_transmission",
+    "orbital_density",
+    "atom_density",
+    "bond_current_profile",
+    "spectral_current_map",
+]

@@ -1,0 +1,209 @@
+"""The lead polynomial eigenvalue problem, Eq. (6) of the paper.
+
+For a lead with inter-cell interaction range NBW, the Bloch phase factors
+lambda = exp(i k) and eigenmodes u solve
+
+    sum_{l=-NBW}^{+NBW} lambda^l (H_{q,q+l} - E S_{q,q+l}) u = 0.
+
+Multiplying by lambda^NBW turns this into a matrix polynomial
+
+    P(lambda) u = sum_{m=0}^{M} lambda^m C_m u = 0,   M = 2 NBW,
+    C_m = H_{q, q+m-NBW} - E S_{q, q+m-NBW},
+
+whose companion linearization is the generalized pencil A v = lambda B v
+of size NBC = M n (the paper's Eqs. 8-9, in the equivalent ascending-power
+form).  The key computational property (paper, Section 3A): a resolvent
+solve (z B - A)^{-1} w — the inner kernel of both FEAST and shift-and-
+invert — reduces *analytically* to one solve with the n x n matrix P(z),
+"through an analytical block LU decomposition, their size can be decreased
+to NBC/(2 NBW)".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg import geig, lu_factor, lu_solve
+from repro.utils.errors import ConfigurationError, ShapeError
+
+
+class PolynomialEVP:
+    """Matrix polynomial P(lambda) = sum_m lambda^m C_m from lead blocks.
+
+    Parameters
+    ----------
+    h_cells, s_cells : lists of (n, n) arrays
+        Per-cell lead blocks H_{q,q+l}, S_{q,q+l} for l = 0..NBW.
+        Blocks for negative l follow from Hermiticity.
+    energy : float
+        The (real) electron energy E at which modes are sought.
+    """
+
+    def __init__(self, h_cells, s_cells, energy: float):
+        if len(h_cells) != len(s_cells):
+            raise ConfigurationError("h_cells and s_cells lengths differ")
+        if len(h_cells) < 2:
+            raise ConfigurationError(
+                "need at least onsite and first-neighbour blocks")
+        n = h_cells[0].shape[0]
+        for blk in (*h_cells, *s_cells):
+            if blk.shape != (n, n):
+                raise ShapeError("all lead blocks must be n x n")
+        self.energy = float(energy)
+        self.n = n
+        self.nbw = len(h_cells) - 1
+        self.degree = 2 * self.nbw  # M
+
+        # Coefficients C_m = Htilde_{m - NBW}, with
+        # Htilde_l = H_l - E S_l and Htilde_{-l} = Htilde_l^H.
+        htl = [np.asarray(h) - self.energy * np.asarray(s)
+               for h, s in zip(h_cells, s_cells)]
+        coeffs = []
+        for m in range(self.degree + 1):
+            l = m - self.nbw
+            coeffs.append(htl[l].astype(complex) if l >= 0
+                          else htl[-l].conj().T.astype(complex))
+        self.coeffs = coeffs
+
+    # -- basic evaluation ---------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """NBC: dimension of the linearized pencil."""
+        return self.degree * self.n
+
+    def eval(self, z: complex) -> np.ndarray:
+        """P(z) = sum_m z^m C_m."""
+        out = np.zeros((self.n, self.n), dtype=complex)
+        zp = 1.0
+        for c in self.coeffs:
+            out += zp * c
+            zp *= z
+        return out
+
+    def residual(self, lam: complex, u: np.ndarray) -> float:
+        """Relative residual ||P(lambda) u|| / ||u|| (scale-free)."""
+        nu = np.linalg.norm(u)
+        if nu == 0:
+            return np.inf
+        scale = max(np.linalg.norm(c, ord=np.inf) *
+                    max(abs(lam), 1.0) ** m
+                    for m, c in enumerate(self.coeffs))
+        return float(np.linalg.norm(self.eval(lam) @ u) / (nu * max(scale, 1e-300)))
+
+    # -- companion linearization (Eqs. 8-9 equivalent) -----------------------
+
+    def pencil(self):
+        """Dense companion pencil (A, B) with A v = lambda B v.
+
+        v = [u; lambda u; ...; lambda^{M-1} u].  B is singular whenever
+        the farthest coupling block C_M is — generalized eigensolvers and
+        the contour integration both handle the resulting infinite
+        eigenvalues naturally.
+        """
+        m, n = self.degree, self.n
+        a = np.zeros((m * n, m * n), dtype=complex)
+        b = np.zeros((m * n, m * n), dtype=complex)
+        for j in range(m - 1):
+            a[j * n:(j + 1) * n, (j + 1) * n:(j + 2) * n] = np.eye(n)
+            b[j * n:(j + 1) * n, j * n:(j + 1) * n] = np.eye(n)
+        for k in range(m):
+            a[(m - 1) * n:, k * n:(k + 1) * n] = -self.coeffs[k]
+        b[(m - 1) * n:, (m - 1) * n:] = self.coeffs[m]
+        return a, b
+
+    def extract_unit_vectors(self, w, v):
+        """Recover unit-cell eigenvectors u from linearization vectors.
+
+        A linearization eigenvector is v = [u; lambda u; ...;
+        lambda^{M-1} u]; for |lambda| >> 1 the top block underflows after
+        normalization, so u is read from the *largest* block (every block
+        is proportional to u).  Columns are normalized; pairs whose best
+        block is still negligible (pure infinite-eigenvalue directions)
+        are dropped.
+
+        Returns ``(w_kept, us)``.
+        """
+        m, n = self.degree, self.n
+        keep, cols = [], []
+        for i in range(v.shape[1]):
+            blocks = v[:, i].reshape(m, n)
+            norms = np.linalg.norm(blocks, axis=1)
+            j = int(np.argmax(norms))
+            if norms[j] < 1e-12:
+                continue
+            keep.append(i)
+            cols.append(blocks[j] / norms[j])
+        if not keep:
+            return (np.zeros(0, dtype=complex),
+                    np.zeros((n, 0), dtype=complex))
+        return np.asarray(w)[keep], np.column_stack(cols)
+
+    def solve_dense(self, drop_infinite: bool = True, inf_cut: float = 1e12):
+        """All eigenpairs via LAPACK ``zggev`` on the companion pencil.
+
+        This is the exact (and expensive, O(NBC^3)) reference the fast
+        methods are validated against.
+
+        Returns
+        -------
+        (lambdas, us) with ``us`` the n-dimensional unit-cell eigenvectors,
+        column-normalized.
+        """
+        a, b = self.pencil()
+        w, v = geig(a, b, tag="obc-dense")
+        if drop_infinite:
+            keep = np.isfinite(w) & (np.abs(w) < inf_cut)
+            w, v = w[keep], v[:, keep]
+        return self.extract_unit_vectors(w, v)
+
+    # -- reduced resolvent solve (the "analytical block LU") -----------------
+
+    def factor_reduced(self, z: complex):
+        """LU-factorize P(z) once for reuse over many right-hand sides."""
+        return lu_factor(self.eval(z), tag="obc-P(z)")
+
+    def resolvent_apply(self, z: complex, y: np.ndarray,
+                        factor=None) -> np.ndarray:
+        """Compute x = (z B - A)^{-1} B y at unit-cell cost.
+
+        ``y`` has NBC rows (any number of columns).  Derivation: writing
+        x = [x_1; ...; x_M] and w = B y, rows 1..M-1 of (zB - A)x = w give
+        x_{j+1} = z x_j - w_j, and substituting into the last row leaves a
+        single n x n system P(z) x_1 = rhs — the NBC/(2 NBW) reduction the
+        paper exploits to make FEAST cheap.
+        """
+        m, n = self.degree, self.n
+        y = np.asarray(y, dtype=complex)
+        squeeze = y.ndim == 1
+        if squeeze:
+            y = y[:, None]
+        if y.shape[0] != m * n:
+            raise ShapeError(f"y must have {m * n} rows, got {y.shape[0]}")
+        ncol = y.shape[1]
+
+        # w = B y: identity blocks except the last, which applies C_M.
+        w = [y[j * n:(j + 1) * n] for j in range(m)]
+        w[m - 1] = self.coeffs[m] @ w[m - 1]
+
+        # rhs = w_M + sum_{j=1}^{M-1} (sum_{m>=j} C_m' z^{m'-j}) w_j, where
+        # the inner sums come from eliminating x_2..x_M.  Build the
+        # prefactors G_j = sum_{p=j}^{M} z^{p-j} C_p efficiently by a
+        # Horner-style backward recurrence: G_M = C_M, G_j = C_j + z G_{j+1}.
+        rhs = w[m - 1].copy()
+        g = self.coeffs[m].astype(complex)
+        # walk j = M-1 .. 1; note w index j-1 stores w_j (1-based w_j).
+        for j in range(m - 1, 0, -1):
+            g = self.coeffs[j] + z * g
+            rhs = rhs + g @ w[j - 1]
+
+        fac = factor if factor is not None else self.factor_reduced(z)
+        x1 = lu_solve(fac, rhs, tag="obc-P(z)-solve")
+
+        x = np.empty((m * n, ncol), dtype=complex)
+        x[:n] = x1
+        prev = x1
+        for j in range(1, m):
+            prev = z * prev - w[j - 1]
+            x[j * n:(j + 1) * n] = prev
+        return x[:, 0] if squeeze else x

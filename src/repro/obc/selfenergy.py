@@ -1,0 +1,231 @@
+"""Boundary self-energy Sigma^RB and injection vectors Inj (Eq. 5).
+
+Conventions (matching the paper's Fig. 4): the device occupies blocks
+0..nB-1 of the folded (NBW = 1) partitioning; the left lead continues the
+first block towards -x, the right lead continues the last block towards
++x.  With A = E S - H and the folded coupling block
+
+    T01 = E S01 - H01          (block q -> q+1 of A),
+
+the lead rows are eliminated in favour of the boundary maps
+
+    psi_{-1}  = M_L psi_0,        M_L = Phi_L Lambda_L^{-1} Phi_L^+,
+    psi_{nB}  = M_R psi_{nB-1},   M_R = Phi_R Lambda_R     Phi_R^+,
+
+where Phi_L spans the *left-going* folded modes (decaying towards -x or
+propagating with v < 0: the retarded/outgoing set of the left contact)
+and Phi_R the right-going ones.  This yields
+
+    Sigma_L = -T01^H M_L,   Sigma_R = -T01 M_R,
+
+entering Eq. (5) as (E S - H - Sigma^RB) c = Inj.  Dropping fast-decaying
+modes (FEAST's annulus) makes Phi rectangular; the Moore-Penrose inverse
+then realizes exactly the paper's approximation that those modes
+"contribute negligibly".
+
+Injection: an incoming propagating mode u_in (right-going, from the left
+contact, unit amplitude) adds the column
+
+    Inj_0 = -T01^H (lambda_in^{-1} I - M_L) u_in
+
+to the first block row (and mirrored for right-contact injection into the
+last block row).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hamiltonian.device import LeadBlocks
+from repro.obc.decimation import sancho_rubio, sigma_from_surface_gf
+from repro.obc.feast import feast_annulus
+from repro.obc.modes import LeadModes, classify_modes, fold_modes, folded_velocity
+from repro.obc.polynomial import PolynomialEVP
+from repro.obc.shift_invert import shift_invert_modes
+from repro.utils.errors import ConfigurationError
+
+
+@dataclass
+class InjectedMode:
+    """One incoming propagating lead mode, ready for Inj assembly."""
+
+    lam: complex           # folded Bloch factor Lambda
+    vector: np.ndarray     # folded, normalized mode vector
+    velocity: float        # folded-frame group velocity (flux weight)
+    from_left: bool
+
+
+@dataclass
+class OpenBoundary:
+    """Sigma^RB + injection data for one (lead, energy) pair."""
+
+    energy: float
+    sigma_l: np.ndarray
+    sigma_r: np.ndarray
+    t01: np.ndarray               # folded E S01 - H01
+    ml: np.ndarray | None         # boundary map M_L (None for decimation)
+    mr: np.ndarray | None
+    modes: LeadModes | None       # folded classified modes
+    injected: list                # of InjectedMode
+    method: str = ""
+
+    @property
+    def block_size(self) -> int:
+        return self.sigma_l.shape[0]
+
+    @property
+    def num_left_injected(self) -> int:
+        return sum(1 for m in self.injected if m.from_left)
+
+    @property
+    def num_right_injected(self) -> int:
+        return sum(1 for m in self.injected if not m.from_left)
+
+    def injection_matrix(self, num_blocks: int, block_sizes,
+                         sides: str = "both") -> np.ndarray:
+        """Dense Inj of Eq. (5): one column per incoming propagating mode,
+        non-zero only in the first and last block rows (Fig. 4)."""
+        offs = np.concatenate([[0], np.cumsum(block_sizes)])
+        ntot = offs[-1]
+        cols = []
+        t10 = self.t01.conj().T
+        for m in self.injected:
+            if m.from_left and sides in ("both", "left"):
+                col = np.zeros(ntot, dtype=complex)
+                val = -t10 @ ((1.0 / m.lam) * m.vector - self.ml @ m.vector)
+                col[offs[0]:offs[1]] = val
+                cols.append(col)
+            elif (not m.from_left) and sides in ("both", "right"):
+                col = np.zeros(ntot, dtype=complex)
+                val = -self.t01 @ (m.lam * m.vector - self.mr @ m.vector)
+                col[offs[-2]:offs[-1]] = val
+                cols.append(col)
+        if not cols:
+            return np.zeros((ntot, 0), dtype=complex)
+        return np.column_stack(cols)
+
+
+def boundary_from_modes(lead: LeadBlocks, energy: float,
+                        folded: LeadModes, method: str = "") -> OpenBoundary:
+    """Assemble Sigma^RB and injection data from classified folded modes."""
+    h01, s01 = lead.h01, lead.s01
+    h00f, s00f = lead.h00, lead.s00
+    nf = lead.folded_size
+    if folded.vectors.shape[0] != nf:
+        raise ConfigurationError(
+            f"modes are size {folded.vectors.shape[0]}, lead folded size "
+            f"is {nf}; fold modes with group = NBW first")
+    t01 = (energy * s01 - h01).astype(complex)
+    t10 = t01.conj().T
+
+    left_set = folded.select(~folded.right_going)
+    right_set = folded.select(folded.right_going)
+
+    # Modes at lambda = infinity (left set) and lambda = 0 (right set) are
+    # dropped by every finite-eigenvalue solver, yet their vectors are
+    # needed to decompose the boundary wavefunction: they span the null
+    # spaces of the coupling block T01 (resp. T01^H).  They carry
+    # lambda^{-1} = 0 (resp. lambda = 0), so they only enter through the
+    # pseudo-inverse, not the diagonal.
+    null_l = _nullspace(t01)
+    null_r = _nullspace(t10)
+    ml = _boundary_map(left_set, invert_lambda=True, n=nf, extra=null_l)
+    mr = _boundary_map(right_set, invert_lambda=False, n=nf, extra=null_r)
+    sigma_l = -t10 @ ml
+    sigma_r = -t01 @ mr
+
+    injected = []
+    prop = folded.select(folded.propagating)
+    for i in range(prop.num_modes):
+        lam = prop.lambdas[i]
+        u = prop.vectors[:, i]
+        v = folded_velocity(lam, u, h01, s01, s00f, energy)
+        injected.append(InjectedMode(lam=lam, vector=u, velocity=v,
+                                     from_left=v > 0))
+
+    return OpenBoundary(energy=energy, sigma_l=sigma_l, sigma_r=sigma_r,
+                        t01=t01, ml=ml, mr=mr, modes=folded,
+                        injected=injected, method=method)
+
+
+def _nullspace(mat: np.ndarray, rtol: float = 1e-10) -> np.ndarray:
+    """Orthonormal basis of the (right) null space of ``mat``."""
+    u, s, vh = np.linalg.svd(mat)
+    if s.size == 0:
+        return np.eye(mat.shape[1], dtype=complex)
+    rank = int(np.count_nonzero(s > rtol * s[0]))
+    return vh[rank:].conj().T
+
+
+def _boundary_map(mset: LeadModes, invert_lambda: bool, n: int,
+                  extra: np.ndarray | None = None) -> np.ndarray:
+    """Phi diag(lambda^{+/-1}) Phi^+ via least squares (rank-safe).
+
+    ``extra`` columns join Phi with zero diagonal weight (the lambda =
+    0 / infinity modes).
+    """
+    phi_cols = []
+    lam_list = []
+    if mset.num_modes:
+        phi_cols.append(mset.vectors)
+        lam_list.append(1.0 / mset.lambdas if invert_lambda
+                        else mset.lambdas)
+    if extra is not None and extra.shape[1]:
+        phi_cols.append(extra)
+        lam_list.append(np.zeros(extra.shape[1], dtype=complex))
+    if not phi_cols:
+        return np.zeros((n, n), dtype=complex)
+    phi = np.hstack(phi_cols)
+    lam = np.concatenate(lam_list)
+    phi_pinv = np.linalg.pinv(phi, rcond=1e-12)
+    return (phi * lam[None, :]) @ phi_pinv
+
+
+def boundary_from_decimation(lead: LeadBlocks, energy: float,
+                             eta: float = 1e-8) -> OpenBoundary:
+    """Sigma^RB via Sancho-Rubio (no modes: NEGF-only route)."""
+    t00 = (energy * lead.s00 - lead.h00).astype(complex)
+    t01 = (energy * lead.s01 - lead.h01).astype(complex)
+    gl, gr = sancho_rubio(t00, t01, eta=eta)
+    sigma_l, sigma_r = sigma_from_surface_gf(gl, gr, t01)
+    return OpenBoundary(energy=energy, sigma_l=sigma_l, sigma_r=sigma_r,
+                        t01=t01, ml=None, mr=None, modes=None,
+                        injected=[], method="decimation")
+
+
+def compute_open_boundary(lead: LeadBlocks, energy: float,
+                          method: str = "feast",
+                          **kwargs) -> OpenBoundary:
+    """Compute the OBCs of one lead at one energy.
+
+    Parameters
+    ----------
+    method : str
+        * ``"feast"`` — the paper's contour solver (Section 3A).
+        * ``"shift_invert"`` — the tight-binding-era baseline [38].
+        * ``"dense"`` — full ``zggev`` on the companion pencil (exact,
+          O(NBC^3); reference).
+        * ``"decimation"`` — Sancho-Rubio surface GF [40] (self-energies
+          only; supplies no modes, so wave-function injection is
+          unavailable and the NEGF route must be used).
+    kwargs are forwarded to the underlying solver.
+    """
+    if method == "decimation":
+        return boundary_from_decimation(lead, energy, **kwargs)
+
+    pevp = PolynomialEVP(lead.h_cells, lead.s_cells, energy)
+    if method == "dense":
+        lams, us = pevp.solve_dense()
+    elif method == "feast":
+        res = feast_annulus(pevp, **kwargs)
+        lams, us = res.lambdas, res.vectors
+    elif method == "shift_invert":
+        lams, us = shift_invert_modes(pevp, **kwargs)
+    else:
+        raise ConfigurationError(f"unknown OBC method {method!r}")
+
+    modes = classify_modes(pevp, lams, us)
+    folded = fold_modes(modes, lead.nbw)
+    return boundary_from_modes(lead, energy, folded, method=method)

@@ -1,0 +1,67 @@
+"""Dynamic load balancing across self-consistent iterations [45].
+
+"To avoid any work imbalance between sub-communicators corresponding to
+different k points, a dynamical allocation of the number of nodes per
+momentum has been developed" — after each Schroedinger-Poisson iteration
+the measured per-k runtimes update the node allocation of the next one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.parallel.topology import build_distribution
+from repro.utils.errors import ConfigurationError
+
+
+class DynamicLoadBalancer:
+    """Re-allocates nodes to momenta from measured iteration timings."""
+
+    def __init__(self, num_nodes: int, energies_per_k,
+                 nodes_per_solver: int = 1, smoothing: float = 0.5):
+        if not 0.0 <= smoothing < 1.0:
+            raise ConfigurationError("smoothing must be in [0, 1)")
+        self.num_nodes = num_nodes
+        self.energies_per_k = [int(n) for n in energies_per_k]
+        self.nodes_per_solver = nodes_per_solver
+        self.smoothing = smoothing
+        # initial work estimate: energy-point counts
+        self._work = np.asarray([max(n, 1) for n in self.energies_per_k],
+                                dtype=float)
+        self.history = []
+
+    def current_distribution(self):
+        dist = build_distribution(self.num_nodes, self.energies_per_k,
+                                  self.nodes_per_solver)
+        # override the proportional target with the learned work vector
+        from repro.parallel.topology import (allocate_nodes_to_momentum,
+                                             distribute_items)
+        dist.nodes_per_k = allocate_nodes_to_momentum(
+            self.num_nodes, self._work, self.nodes_per_solver)
+        dist.energy_assignment = [
+            distribute_items(n_e, max(int(dist.nodes_per_k[ik]
+                                          // self.nodes_per_solver), 1))
+            for ik, n_e in enumerate(self.energies_per_k)]
+        return dist
+
+    def record_iteration(self, measured_time_per_k):
+        """Feed back measured per-k total times; updates the work model."""
+        t = np.asarray(measured_time_per_k, dtype=float)
+        if t.shape != self._work.shape:
+            raise ConfigurationError("one timing per momentum required")
+        if np.any(t <= 0):
+            raise ConfigurationError("timings must be positive")
+        # Per-k work = time * nodes currently assigned (time shrinks when
+        # more nodes work on the same k).
+        dist = self.current_distribution()
+        work = t * dist.nodes_per_k
+        self._work = (self.smoothing * self._work
+                      + (1.0 - self.smoothing) * work)
+        self.history.append(work)
+        return self.current_distribution()
+
+    def predicted_iteration_time(self, work=None) -> float:
+        """Max over k of (work_k / nodes_k): the slowest group's time."""
+        dist = self.current_distribution()
+        w = self._work if work is None else np.asarray(work, dtype=float)
+        return float(np.max(w / dist.nodes_per_k))

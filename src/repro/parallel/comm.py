@@ -1,0 +1,151 @@
+"""In-process MPI-like communicator running SPMD programs on threads.
+
+Mirrors the mpi4py calls OMEN uses (``MPI_Bcast`` of the Hamiltonian,
+gathers of observables, communicator splits for the k/E hierarchy) with
+the same semantics, so the distribution code paths are genuinely
+exercised in tests.  NumPy work inside rank functions releases the GIL,
+so rank programs also overlap in time.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.utils.errors import ConfigurationError, ReproError
+
+
+class _Collective:
+    """Shared rendezvous state for one communicator."""
+
+    def __init__(self, size: int):
+        self.size = size
+        self.barrier = threading.Barrier(size)
+        self.lock = threading.Lock()
+        self.slots: dict = {}
+
+
+class FakeComm:
+    """One rank's view of a communicator.
+
+    Supports: ``rank``, ``size``, ``barrier()``, ``bcast(obj, root)``,
+    ``gather(obj, root)``, ``allgather(obj)``, ``allreduce(val, op)``,
+    ``scatter(list, root)``, and ``split(color, key)``.
+    """
+
+    def __init__(self, rank: int, collective: _Collective,
+                 registry=None, name: str = "world"):
+        self.rank = rank
+        self._coll = collective
+        self._registry = registry if registry is not None else {}
+        self._name = name
+        self._gen = 0
+
+    @property
+    def size(self) -> int:
+        return self._coll.size
+
+    # -- primitives ----------------------------------------------------------
+
+    def barrier(self):
+        self._coll.barrier.wait()
+
+    def _exchange(self, value):
+        """All ranks deposit a value; everyone sees the full table."""
+        self._gen += 1
+        key = (self._name, self._gen)
+        with self._coll.lock:
+            table = self._coll.slots.setdefault(key, {})
+            table[self.rank] = value
+        self.barrier()
+        result = dict(self._coll.slots[key])
+        self.barrier()
+        with self._coll.lock:
+            self._coll.slots.pop(key, None)
+        return result
+
+    # -- collectives ---------------------------------------------------------
+
+    def bcast(self, obj, root: int = 0):
+        table = self._exchange(obj if self.rank == root else None)
+        return table[root]
+
+    def gather(self, obj, root: int = 0):
+        table = self._exchange(obj)
+        if self.rank != root:
+            return None
+        return [table[r] for r in range(self.size)]
+
+    def allgather(self, obj):
+        table = self._exchange(obj)
+        return [table[r] for r in range(self.size)]
+
+    def allreduce(self, value, op=None):
+        table = self.allgather(value)
+        if op is None:
+            total = table[0]
+            for v in table[1:]:
+                total = total + v
+            return total
+        result = table[0]
+        for v in table[1:]:
+            result = op(result, v)
+        return result
+
+    def scatter(self, values, root: int = 0):
+        if self.rank == root:
+            values = list(values)
+            if len(values) != self.size:
+                raise ConfigurationError(
+                    f"scatter needs {self.size} values, got {len(values)}")
+        table = self._exchange(values if self.rank == root else None)
+        return table[root][self.rank]
+
+    # -- communicator splitting (the k/E hierarchy) ---------------------------
+
+    def split(self, color, key: int | None = None) -> "FakeComm":
+        """Create sub-communicators by color, ordered by key (MPI_Comm_split).
+
+        Ranks passing the same color land in the same sub-communicator.
+        """
+        key = self.rank if key is None else key
+        table = self._exchange((color, key))
+        members = sorted(r for r, (c, _k) in table.items() if c == color)
+        members.sort(key=lambda r: (table[r][1], r))
+        sub_name = f"{self._name}/{color}@{self._gen}"
+        with self._coll.lock:
+            if sub_name not in self._registry:
+                self._registry[sub_name] = _Collective(len(members))
+            sub_coll = self._registry[sub_name]
+        self.barrier()
+        return FakeComm(members.index(self.rank), sub_coll,
+                        self._registry, sub_name)
+
+
+def run_spmd(num_ranks: int, fn, timeout: float = 120.0) -> list:
+    """Run ``fn(comm)`` on ``num_ranks`` threads; returns per-rank results.
+
+    Any rank raising aborts the whole program (the MPI_Abort analogue).
+    """
+    if num_ranks < 1:
+        raise ConfigurationError("num_ranks must be >= 1")
+    coll = _Collective(num_ranks)
+    registry: dict = {}
+
+    def worker(rank):
+        return fn(FakeComm(rank, coll, registry))
+
+    with ThreadPoolExecutor(max_workers=num_ranks) as pool:
+        futures = [pool.submit(worker, r) for r in range(num_ranks)]
+        results = []
+        for f in futures:
+            try:
+                results.append(f.result(timeout=timeout))
+            except Exception as exc:
+                coll.barrier.abort()
+                for g in futures:
+                    g.cancel()
+                if isinstance(exc, ReproError):
+                    raise
+                raise ReproError(f"SPMD rank failed: {exc!r}") from exc
+    return results

@@ -1,0 +1,29 @@
+"""Performance accounting: flop models, measurement, and extrapolation.
+
+Bridges the instrumented algorithms (exact measured flop counts at
+laptop scale) and the simulated machine (paper-scale timings): analytic
+per-energy-point flop models validated against the ledger, plus the
+scaling laws used to extrapolate to the paper's structure sizes.
+"""
+
+from repro.perfmodel.costmodel import (
+    splitsolve_flop_model,
+    measure_flops,
+    extrapolate_flops,
+)
+from repro.perfmodel.scaling import (
+    WeakScalingRow,
+    weak_scaling_table,
+    strong_scaling_table,
+    weak_scaling_efficiency,
+)
+
+__all__ = [
+    "splitsolve_flop_model",
+    "measure_flops",
+    "extrapolate_flops",
+    "WeakScalingRow",
+    "weak_scaling_table",
+    "strong_scaling_table",
+    "weak_scaling_efficiency",
+]

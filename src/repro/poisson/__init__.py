@@ -1,0 +1,26 @@
+"""Electrostatics: the Poisson half of OMEN's Schroedinger-Poisson loop.
+
+A finite-difference Poisson solver on a rectangular grid with
+position-dependent permittivity, Dirichlet gate electrodes, and Neumann
+contact boundaries, plus the charge-assignment/interpolation glue between
+the atomistic transport solution and the grid, and the self-consistent
+iteration of Fig. 2 ("OMEN ... solves electron transport based on the
+self-consistent solution of the Schroedinger and Poisson equations").
+"""
+
+from repro.poisson.grid import PoissonGrid
+from repro.poisson.fd import solve_poisson
+from repro.poisson.gates import (
+    double_gate_mask,
+    wrap_gate_mask,
+)
+from repro.poisson.scf import SCFResult, schroedinger_poisson
+
+__all__ = [
+    "PoissonGrid",
+    "solve_poisson",
+    "double_gate_mask",
+    "wrap_gate_mask",
+    "SCFResult",
+    "schroedinger_poisson",
+]

@@ -1,0 +1,51 @@
+"""Gate-electrode geometries (Fig. 1a and 1c of the paper)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.poisson.grid import PoissonGrid
+from repro.utils.errors import ConfigurationError
+
+
+def _gate_x_window(grid: PoissonGrid, gate_start_frac: float,
+                   gate_stop_frac: float):
+    if not 0.0 <= gate_start_frac < gate_stop_frac <= 1.0:
+        raise ConfigurationError("need 0 <= start < stop <= 1")
+    pos = grid.node_positions()
+    x = pos[:, 0]
+    x0 = grid.origin[0] + gate_start_frac * grid.lengths[0]
+    x1 = grid.origin[0] + gate_stop_frac * grid.lengths[0]
+    return pos, (x >= x0) & (x <= x1)
+
+
+def double_gate_mask(grid: PoissonGrid, gate_start_frac: float,
+                     gate_stop_frac: float,
+                     plate_thickness: float = 0.0) -> np.ndarray:
+    """Top + bottom gate plates of a double-gate UTBFET (Fig. 1c).
+
+    Nodes on the outermost y-layers (within ``plate_thickness`` of the
+    boundary) under the gate window are electrode nodes.
+    """
+    pos, in_x = _gate_x_window(grid, gate_start_frac, gate_stop_frac)
+    y = pos[:, 1]
+    y_lo = grid.origin[1] + plate_thickness + 1e-12
+    y_hi = grid.origin[1] + grid.lengths[1] - plate_thickness - 1e-12
+    on_plate = (y <= y_lo) | (y >= y_hi)
+    return in_x & on_plate
+
+
+def wrap_gate_mask(grid: PoissonGrid, gate_start_frac: float,
+                   gate_stop_frac: float,
+                   inner_radius: float) -> np.ndarray:
+    """Gate-all-around electrode of a nanowire FET (Fig. 1a).
+
+    All nodes outside ``inner_radius`` of the y-z axis of the grid, in the
+    gate window, belong to the cylindrical gate shell.
+    """
+    if inner_radius <= 0:
+        raise ConfigurationError("inner_radius must be positive")
+    pos, in_x = _gate_x_window(grid, gate_start_frac, gate_stop_frac)
+    center = grid.origin[1:] + grid.lengths[1:] / 2.0
+    r = np.linalg.norm(pos[:, 1:] - center, axis=1)
+    return in_x & (r >= inner_radius)

@@ -1,0 +1,86 @@
+"""Rectangular grid, charge assignment, and potential interpolation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+#: Vacuum permittivity in e / (V nm): EPS0 [F/m] * 1e-9 [m/nm] / e [C].
+EPS0_E_PER_V_NM = 8.8541878128e-12 * 1e-9 / 1.602176634e-19
+
+
+class PoissonGrid:
+    """Axis-aligned uniform grid covering a structure's bounding box.
+
+    Node-centred: node (i, j, k) sits at origin + (i hx, j hy, k hz).
+    """
+
+    def __init__(self, origin, lengths, shape):
+        self.origin = np.asarray(origin, dtype=float)
+        self.lengths = np.asarray(lengths, dtype=float)
+        self.shape = tuple(int(s) for s in shape)
+        if len(self.shape) != 3 or any(s < 2 for s in self.shape):
+            raise ConfigurationError("grid needs >= 2 nodes per axis")
+        if np.any(self.lengths <= 0):
+            raise ConfigurationError("grid lengths must be positive")
+        self.h = self.lengths / (np.asarray(self.shape) - 1)
+
+    @classmethod
+    def for_structure(cls, structure, spacing: float = 0.2,
+                      padding: float = 0.3) -> "PoissonGrid":
+        """Grid covering the structure with ~``spacing`` nm resolution."""
+        lo = structure.positions.min(axis=0) - padding
+        hi = structure.positions.max(axis=0) + padding
+        lengths = hi - lo
+        shape = np.maximum(np.round(lengths / spacing).astype(int) + 1, 2)
+        return cls(lo, lengths, shape)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(np.prod(self.shape))
+
+    def node_positions(self) -> np.ndarray:
+        """(num_nodes, 3) array of node coordinates (C order)."""
+        axes = [self.origin[d] + np.arange(self.shape[d]) * self.h[d]
+                for d in range(3)]
+        xx, yy, zz = np.meshgrid(*axes, indexing="ij")
+        return np.column_stack([xx.ravel(), yy.ravel(), zz.ravel()])
+
+    def _cic_weights(self, positions):
+        """Cloud-in-cell: for each point, the 8 corner nodes + weights."""
+        rel = (np.asarray(positions) - self.origin) / self.h
+        rel = np.clip(rel, 0.0, np.asarray(self.shape) - 1.000001)
+        i0 = np.floor(rel).astype(int)
+        frac = rel - i0
+        nodes, weights = [], []
+        for dx in (0, 1):
+            for dy in (0, 1):
+                for dz in (0, 1):
+                    idx = i0 + [dx, dy, dz]
+                    idx = np.minimum(idx, np.asarray(self.shape) - 1)
+                    w = (np.where(dx, frac[:, 0], 1 - frac[:, 0])
+                         * np.where(dy, frac[:, 1], 1 - frac[:, 1])
+                         * np.where(dz, frac[:, 2], 1 - frac[:, 2]))
+                    nodes.append(np.ravel_multi_index(
+                        (idx[:, 0], idx[:, 1], idx[:, 2]), self.shape))
+                    weights.append(w)
+        return np.stack(nodes, axis=1), np.stack(weights, axis=1)
+
+    def assign_charge(self, positions, charges) -> np.ndarray:
+        """Spread point charges (e) onto the grid as density (e / nm^3)."""
+        charges = np.asarray(charges, dtype=float)
+        nodes, weights = self._cic_weights(positions)
+        rho = np.zeros(self.num_nodes)
+        np.add.at(rho, nodes.ravel(),
+                  (weights * charges[:, None]).ravel())
+        cell_volume = float(np.prod(self.h))
+        return rho / cell_volume
+
+    def interpolate(self, field: np.ndarray, positions) -> np.ndarray:
+        """Trilinear interpolation of a nodal field to arbitrary points."""
+        field = np.asarray(field).ravel()
+        if field.size != self.num_nodes:
+            raise ConfigurationError("field size does not match grid")
+        nodes, weights = self._cic_weights(positions)
+        return (field[nodes] * weights).sum(axis=1)

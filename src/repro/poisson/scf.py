@@ -1,0 +1,161 @@
+"""Self-consistent Schroedinger-Poisson iteration (Fig. 2).
+
+One outer iteration = (i) solve ballistic transport at the current
+potential for the adaptive energy grid, (ii) accumulate the electron
+density, (iii) solve Poisson with electrons + fixed donor background,
+(iv) mix the new potential into the old one.  The paper's production runs
+do 40-50 such iterations over 10 bias points; each iteration is what the
+scaling experiments of Section 5 time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.energygrid import adaptive_energy_grid
+from repro.core.runner import compute_spectrum
+from repro.negf import atom_density, orbital_density
+from repro.poisson.fd import solve_poisson
+from repro.poisson.grid import PoissonGrid
+from repro.utils.errors import ConfigurationError, ConvergenceError
+
+
+@dataclass
+class SCFResult:
+    """Converged (or final) state of the self-consistent loop."""
+
+    potential_atom: np.ndarray     # electron potential energy (eV) per atom
+    density_atom: np.ndarray       # electrons per atom (arbitrary norm)
+    residuals: list
+    iterations: int
+    converged: bool
+    spectrum: object = field(default=None, repr=False)
+
+
+def schroedinger_poisson(structure, basis, num_cells: int,
+                         mu_l: float, mu_r: float,
+                         e_window: tuple,
+                         doping_atom: np.ndarray | None = None,
+                         gate_mask=None, gate_voltage: float = 0.0,
+                         grid: PoissonGrid | None = None,
+                         eps_r: float = 11.7,
+                         temperature_k: float = 300.0,
+                         mixing: float = 0.2, max_iter: int = 25,
+                         tol: float = 5e-3,
+                         density_scale: float = 1.0,
+                         obc_method: str = "dense", solver: str = "rgf",
+                         num_k: int = 1,
+                         raise_on_divergence: bool = False) -> SCFResult:
+    """Run the self-consistent Schroedinger-Poisson loop.
+
+    Parameters
+    ----------
+    mu_l, mu_r : contact chemical potentials (eV).
+    e_window : (e_min, e_max) transport energy window.
+    doping_atom : fixed positive background charge per atom (e); default
+        zero everywhere (charge-neutral intrinsic channel).
+    gate_mask : boolean node mask of electrode nodes (see
+        :mod:`repro.poisson.gates`); ``gate_voltage`` volts applied there.
+    density_scale : conversion from the solver's per-mode density to
+        electrons (absorbs the energy-integration normalization).
+    mixing : linear mixing weight of the new potential (0 < mixing <= 1).
+
+    Notes
+    -----
+    The contact cells' potential shift is frozen to zero so the lead
+    blocks stay valid — the same constraint OMEN's Poisson solver applies.
+    """
+    if not 0 < mixing <= 1:
+        raise ConfigurationError("mixing must be in (0, 1]")
+    natoms = structure.num_atoms
+    doping = np.zeros(natoms) if doping_atom is None \
+        else np.asarray(doping_atom, dtype=float)
+    if doping.shape != (natoms,):
+        raise ConfigurationError("doping_atom must have one entry/atom")
+    if grid is None:
+        grid = PoissonGrid.for_structure(structure, spacing=0.25)
+    dirichlet_vals = None
+    if gate_mask is not None:
+        dirichlet_vals = np.full(grid.num_nodes, float(gate_voltage))
+
+    # contact cells (first and last) are potential-frozen
+    x = structure.positions[:, 0]
+    lx = structure.cell[0, 0]
+    cell_len = lx / num_cells
+    frozen = (x < cell_len) | (x >= lx - cell_len)
+
+    pot = np.zeros(natoms)
+    residuals = []
+    spectrum = None
+    dens_atoms = np.zeros(natoms)
+    for it in range(1, max_iter + 1):
+        # (i) transport at the current potential
+        energies = _scf_energy_grid(structure, basis, num_cells, pot,
+                                    e_window)
+        spectrum = compute_spectrum(structure, basis, num_cells, energies,
+                                    num_k=num_k, obc_method=obc_method,
+                                    solver=solver, potential=pot)
+        # (ii) accumulate density (trapezoid over the energy grid)
+        dev = None
+        dens_orb = None
+        weights = _trapezoid_weights(energies)
+        for res, w in zip(spectrum.results, np.tile(
+                weights, len(spectrum.kpoints))):
+            if dev is None:
+                from repro.hamiltonian import build_device
+                dev = build_device(structure, basis, num_cells)
+            contrib = orbital_density(res, dev.smat, mu_l, mu_r,
+                                      temperature_k)
+            dens_orb = contrib * w if dens_orb is None \
+                else dens_orb + contrib * w
+        dens_atoms = density_scale * atom_density(
+            dens_orb, dev.orbital_offsets)
+
+        # (iii) Poisson with net charge (donors positive, electrons neg.)
+        net_charge = doping - dens_atoms
+        rho = grid.assign_charge(structure.positions, net_charge)
+        phi = solve_poisson(grid, rho, eps_r=eps_r,
+                            dirichlet_mask=gate_mask,
+                            dirichlet_values=dirichlet_vals)
+        new_pot = -grid.interpolate(phi, structure.positions)  # eV
+        new_pot[frozen] = 0.0
+
+        # (iv) mix and test convergence
+        resid = float(np.max(np.abs(new_pot - pot)))
+        residuals.append(resid)
+        pot = (1.0 - mixing) * pot + mixing * new_pot
+        if resid < tol:
+            return SCFResult(potential_atom=pot, density_atom=dens_atoms,
+                             residuals=residuals, iterations=it,
+                             converged=True, spectrum=spectrum)
+
+    if raise_on_divergence:
+        raise ConvergenceError(
+            f"Schroedinger-Poisson did not converge in {max_iter} "
+            f"iterations (residual {residuals[-1]:.2e})",
+            iterations=max_iter, residual=residuals[-1])
+    return SCFResult(potential_atom=pot, density_atom=dens_atoms,
+                     residuals=residuals, iterations=max_iter,
+                     converged=False, spectrum=spectrum)
+
+
+def _scf_energy_grid(structure, basis, num_cells, pot, e_window):
+    """Moderate adaptive grid for the SCF inner transport solve."""
+    from repro.hamiltonian import build_device
+
+    lead = build_device(structure, basis, num_cells).lead
+    return adaptive_energy_grid(lead, e_window[0], e_window[1],
+                                min_spacing=5e-3, max_spacing=0.05)
+
+
+def _trapezoid_weights(energies: np.ndarray) -> np.ndarray:
+    e = np.asarray(energies, dtype=float)
+    if e.size == 1:
+        return np.ones(1)
+    w = np.zeros_like(e)
+    d = np.diff(e)
+    w[:-1] += d / 2
+    w[1:] += d / 2
+    return w

@@ -1,0 +1,34 @@
+"""Linear solvers for the Schroedinger equation with open boundaries.
+
+The system of Fig. 4,
+
+    T x = (E S - H - Sigma^RB) x = Inj,
+
+is block tridiagonal except for the two Sigma corners, with a right-hand
+side that is non-zero only in the first and last block rows.  Four solvers
+are provided, matching the paper's Fig. 8 comparison:
+
+* :mod:`direct` — sparse-direct LU (the MUMPS baseline),
+* :mod:`rgf` — recursive Green's function (block Thomas) [47],
+* :mod:`bcr` — block cyclic reduction (OMEN's legacy CPU solver) [33],
+* :mod:`splitsolve` — the paper's multi-accelerator algorithm: low-rank
+  decoupling of Sigma^RB (Sherman-Morrison-Woodbury), block-column
+  inversion (Algorithm 1), and recursive SPIKE merging across partitions.
+"""
+
+from repro.solvers.assemble import assemble_t, boundary_rhs
+from repro.solvers.direct import SparseDirectSolver, solve_direct
+from repro.solvers.rgf import solve_rgf, rgf_greens_blocks
+from repro.solvers.bcr import solve_bcr
+from repro.solvers.splitsolve import SplitSolve
+
+__all__ = [
+    "assemble_t",
+    "boundary_rhs",
+    "SparseDirectSolver",
+    "solve_direct",
+    "solve_rgf",
+    "rgf_greens_blocks",
+    "solve_bcr",
+    "SplitSolve",
+]

@@ -1,0 +1,54 @@
+"""Assembly of the transport system T = E S - H - Sigma^RB."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.linalg import BlockTridiagonalMatrix
+from repro.utils.errors import ShapeError
+
+
+def assemble_t(a: BlockTridiagonalMatrix, sigma_l: np.ndarray,
+               sigma_r: np.ndarray) -> BlockTridiagonalMatrix:
+    """Fold the boundary self-energies into the corner diagonal blocks.
+
+    Returns a new matrix; ``a`` is untouched (SplitSolve relies on the
+    Sigma-free A staying available).
+    """
+    s1 = a.block_sizes[0]
+    s2 = a.block_sizes[-1]
+    if sigma_l.shape != (s1, s1):
+        raise ShapeError(
+            f"sigma_l is {sigma_l.shape}, first block is {s1}x{s1}")
+    if sigma_r.shape != (s2, s2):
+        raise ShapeError(
+            f"sigma_r is {sigma_r.shape}, last block is {s2}x{s2}")
+    t = BlockTridiagonalMatrix(
+        [b.astype(complex).copy() for b in a.diag],
+        [b.astype(complex) for b in a.upper],
+        [b.astype(complex) for b in a.lower])
+    t.diag[0] -= sigma_l
+    t.diag[-1] -= sigma_r
+    return t
+
+
+def boundary_rhs(block_sizes, b_top: np.ndarray,
+                 b_bottom: np.ndarray) -> np.ndarray:
+    """Assemble the sparse-top/bottom right-hand side Inj as a dense array.
+
+    ``b_top`` is (s1, m), ``b_bottom`` is (s2, m) — either may have zero
+    columns.  The result has one column per injected mode, non-zero only
+    in the first and last block rows (Fig. 4).
+    """
+    s1, s2 = block_sizes[0], block_sizes[-1]
+    n = int(np.sum(block_sizes))
+    if b_top.shape[0] != s1:
+        raise ShapeError(f"b_top has {b_top.shape[0]} rows, expected {s1}")
+    if b_bottom.shape[0] != s2:
+        raise ShapeError(
+            f"b_bottom has {b_bottom.shape[0]} rows, expected {s2}")
+    m = b_top.shape[1] + b_bottom.shape[1]
+    rhs = np.zeros((n, m), dtype=complex)
+    rhs[:s1, :b_top.shape[1]] = b_top
+    rhs[n - s2:, b_top.shape[1]:] = b_bottom
+    return rhs

@@ -1,0 +1,33 @@
+"""SplitSolve — the paper's multi-accelerator transport solver (Section 3B).
+
+The algorithm rests on three ideas:
+
+1. **Low-rank decoupling** (Sherman-Morrison-Woodbury): write
+   T = A - B C with A = E S - H block tridiagonal and B C the boundary
+   self-energy confined to the two corner blocks.  The expensive part —
+   Q = A^{-1} B, the first and last block columns of A^{-1} — does not
+   depend on Sigma^RB, so it runs on the GPUs *while* FEAST computes the
+   OBCs on the CPUs.
+
+2. **Algorithm 1**: block-column inversion by two independent sweeps
+   (first column downward, last column upward — "naturally scale to two
+   accelerators").
+
+3. **SPIKE merging**: for p > 2 accelerators the matrix is split into
+   horizontal partitions, each inverted locally, then merged pairwise and
+   recursively (log2 p steps of constant cost).
+
+Postprocessing (steps 2-4 of the paper) is a small (2s x 2s) solve plus
+one gemm per block.
+"""
+
+from repro.solvers.splitsolve.driver import SplitSolve
+from repro.solvers.splitsolve.algorithm1 import block_column_inverse
+from repro.solvers.splitsolve.spike import PartitionColumns, merge_partitions
+
+__all__ = [
+    "SplitSolve",
+    "block_column_inverse",
+    "PartitionColumns",
+    "merge_partitions",
+]

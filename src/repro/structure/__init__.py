@@ -1,0 +1,39 @@
+"""Atomistic structure generators.
+
+In the paper, device geometries (gate-all-around nanowires, ultra-thin-body
+films, lithiated SnO anodes) are constructed and relaxed by CP2K.  Here the
+same classes of structures are generated directly: atoms on a diamond
+lattice carved into wires/films, ordered into transport slabs so the
+resulting Hamiltonian is block tridiagonal.
+"""
+
+from repro.structure.lattice import (
+    Structure,
+    diamond_conventional_cell,
+    replicate,
+    SI_LATTICE_CONSTANT,
+)
+from repro.structure.nanowire import silicon_nanowire
+from repro.structure.utb import silicon_utb_film
+from repro.structure.chain import linear_chain, dimer_chain
+from repro.structure.anode import lithiated_sno_anode
+from repro.structure.slabs import (
+    assign_slabs,
+    order_by_slab,
+    slab_atom_counts,
+)
+
+__all__ = [
+    "Structure",
+    "diamond_conventional_cell",
+    "replicate",
+    "SI_LATTICE_CONSTANT",
+    "silicon_nanowire",
+    "silicon_utb_film",
+    "linear_chain",
+    "dimer_chain",
+    "lithiated_sno_anode",
+    "assign_slabs",
+    "order_by_slab",
+    "slab_atom_counts",
+]

@@ -1,0 +1,51 @@
+"""One-dimensional atomic chains.
+
+These are the analytically solvable systems the test-suite anchors on: a
+single-orbital linear chain has the textbook dispersion
+``E(k) = eps + 2 t cos(k a)`` and unit transmission inside the band, which
+pins down sign and normalization conventions in the OBC and transport
+codes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.structure.lattice import Structure
+from repro.utils.errors import ConfigurationError
+
+
+def linear_chain(num_atoms: int, spacing_nm: float = 0.25,
+                 species: str = "X") -> Structure:
+    """A chain of equally spaced atoms along x."""
+    if num_atoms < 1:
+        raise ConfigurationError("num_atoms must be >= 1")
+    pos = np.zeros((num_atoms, 3))
+    pos[:, 0] = np.arange(num_atoms) * spacing_nm
+    cell = np.diag([num_atoms * spacing_nm, spacing_nm, spacing_nm])
+    return Structure(pos, np.array([species] * num_atoms), cell,
+                     np.array([True, False, False]))
+
+
+def dimer_chain(num_cells: int, spacing_nm: float = 0.25,
+                dimerization: float = 0.0,
+                species=("A", "B")) -> Structure:
+    """A two-atom-basis chain (SSH-like when ``dimerization`` != 0).
+
+    Each cell holds atoms at x = 0 and x = (0.5 + dimerization) * a within
+    the cell; alternating species allow onsite asymmetry (gapped leads).
+    """
+    if num_cells < 1:
+        raise ConfigurationError("num_cells must be >= 1")
+    if not -0.4 < dimerization < 0.4:
+        raise ConfigurationError("dimerization must be in (-0.4, 0.4)")
+    a = spacing_nm
+    pos = []
+    kinds = []
+    for c in range(num_cells):
+        pos.append([c * a, 0.0, 0.0])
+        pos.append([(c + 0.5 + dimerization) * a, 0.0, 0.0])
+        kinds.extend(species)
+    cell = np.diag([num_cells * a, a, a])
+    return Structure(np.asarray(pos), np.asarray(kinds), cell,
+                     np.array([True, False, False]))

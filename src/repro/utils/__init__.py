@@ -1,0 +1,34 @@
+"""Shared infrastructure: errors, timers, validation, reproducible RNG."""
+
+from repro.utils.errors import (
+    ReproError,
+    ConfigurationError,
+    ConvergenceError,
+    ShapeError,
+    SingularMatrixError,
+)
+from repro.utils.timing import Timer, StageTimer
+from repro.utils.validation import (
+    check_square,
+    check_finite,
+    check_positive,
+    check_power_of_two,
+    as_complex_array,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "ShapeError",
+    "SingularMatrixError",
+    "Timer",
+    "StageTimer",
+    "check_square",
+    "check_finite",
+    "check_positive",
+    "check_power_of_two",
+    "as_complex_array",
+    "make_rng",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this package derives from :class:`ReproError`, so a
+caller embedding the simulator can catch one type.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm failed to converge within its budget.
+
+    Attributes
+    ----------
+    iterations : int
+        Number of iterations performed before giving up.
+    residual : float
+        Final residual (algorithm-specific norm), ``nan`` if unknown.
+    """
+
+    def __init__(self, message, iterations=0, residual=float("nan")):
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+
+
+class ShapeError(ReproError, ValueError):
+    """An array argument has the wrong shape or inconsistent dimensions."""
+
+
+class SingularMatrixError(ReproError):
+    """A matrix that must be invertible is numerically singular."""

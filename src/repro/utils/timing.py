@@ -1,0 +1,68 @@
+"""Lightweight wall-clock timers used for profiling and phase traces."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Usage::
+
+        t = Timer()
+        with t:
+            do_work()
+        print(t.elapsed)
+    """
+
+    def __init__(self):
+        self.elapsed = 0.0
+        self.calls = 0
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.elapsed += time.perf_counter() - self._start
+        self.calls += 1
+        self._start = None
+        return False
+
+    def reset(self):
+        self.elapsed = 0.0
+        self.calls = 0
+
+
+class StageTimer:
+    """Named per-stage timers, e.g. for the SplitSolve phases P1..P4.
+
+    ``stage()`` is a context manager; :attr:`stages` maps name -> seconds.
+    Stage order of first use is preserved, which the phase-trace plots rely
+    on.
+    """
+
+    def __init__(self):
+        self.stages: dict[str, float] = {}
+
+    @contextmanager
+    def stage(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    @property
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def as_rows(self):
+        """Return ``(name, seconds, fraction)`` rows for report printing."""
+        total = self.total or 1.0
+        return [(k, v, v / total) for k, v in self.stages.items()]

@@ -1,0 +1,19 @@
+"""Shared test utilities."""
+
+import numpy as np
+
+
+def assert_spectra_match(got, want, atol=1e-8):
+    """Assert two eigenvalue multisets coincide (order-free, greedy pair)."""
+    got = list(np.asarray(got, dtype=complex))
+    want = list(np.asarray(want, dtype=complex))
+    assert len(got) == len(want), (
+        f"eigenvalue counts differ: {len(got)} vs {len(want)}\n"
+        f"got={got}\nwant={want}")
+    for g in got:
+        dists = [abs(g - w) for w in want]
+        j = int(np.argmin(dists))
+        assert dists[j] < atol, (
+            f"eigenvalue {g} has no partner within {atol}; "
+            f"closest {want[j]} at {dists[j]:.2e}")
+        want.pop(j)

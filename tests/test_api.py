@@ -1,0 +1,73 @@
+"""Tests for the high-level convenience API and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.utils.errors import ConfigurationError
+
+
+class TestApi:
+    @pytest.fixture(scope="class")
+    def device(self):
+        return api.silicon_nanowire_device(diameter_nm=1.0,
+                                           length_cells=3)
+
+    def test_device_construction(self, device):
+        assert device.num_orbitals > 0
+        assert device.lead.nbw >= 1
+
+    def test_unknown_basis(self):
+        with pytest.raises(ConfigurationError):
+            api.silicon_nanowire_device(basis="planewave")
+
+    def test_band_window_spans_bands(self, device):
+        lo, hi = api.band_window(device, halo=0.0)
+        assert hi > lo
+
+    def test_energy_grid_within_window(self, device):
+        lo, _ = api.band_window(device)
+        grid = api.energy_grid(device, lo, lo + 1.0, max_spacing=0.1)
+        assert grid[0] == lo
+        assert grid[-1] == pytest.approx(lo + 1.0)
+
+    def test_transmission_rows(self, device):
+        lo, _ = api.band_window(device, halo=0.0)
+        rows = api.transmission(device, [lo + 0.3, lo + 0.6],
+                                obc_method="dense", solver="rgf")
+        assert rows.shape == (2, 3)
+        # staircase on the pristine wire
+        np.testing.assert_allclose(rows[:, 2], rows[:, 1], atol=1e-6)
+
+    def test_utb_device_with_k(self):
+        dev = api.silicon_utb_device(tbody_nm=0.8, length_cells=3,
+                                     kpoint=0.25)
+        assert np.iscomplexobj(dev.hmat.toarray())
+
+    def test_spectrum_wrapper(self):
+        from repro.structure import linear_chain
+
+        chain = linear_chain(6, 0.25)
+        with pytest.raises(ConfigurationError):
+            api.spectrum(chain, [], basis="tb", num_cells=6)
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig5" in out and "table1" in out
+
+    def test_run_one(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_run_unknown(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["run", "fig99"]) == 2

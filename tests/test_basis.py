@@ -1,0 +1,166 @@
+"""Tests for basis sets and Slater-Koster matrix elements."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.basis import (
+    BasisSet,
+    Shell,
+    functional_shift,
+    gaussian_3sp_set,
+    tight_binding_set,
+)
+from repro.basis.shells import SpeciesBasis
+from repro.hamiltonian.slater_koster import (
+    ETA_HAMILTONIAN,
+    ETA_OVERLAP,
+    atom_pair_block,
+    onsite_block,
+    radial,
+    shell_pair_block,
+)
+from repro.structure import linear_chain, silicon_nanowire
+from repro.utils.errors import ConfigurationError
+
+
+class TestShells:
+    def test_orbital_counts(self):
+        assert Shell(l=0, energy=0.0, decay=0.1).num_orbitals == 1
+        assert Shell(l=1, energy=0.0, decay=0.1).num_orbitals == 3
+
+    def test_rejects_bad_l(self):
+        with pytest.raises(ConfigurationError):
+            Shell(l=2, energy=0.0, decay=0.1)
+
+    def test_rejects_bad_decay(self):
+        with pytest.raises(ConfigurationError):
+            Shell(l=0, energy=0.0, decay=0.0)
+
+    def test_species_basis_labels(self):
+        sb = SpeciesBasis("Si", (Shell(0, -5.0, 0.1), Shell(1, 1.0, 0.1)))
+        assert sb.num_orbitals == 4
+        assert sb.orbital_labels() == ["0s", "1px", "1py", "1pz"]
+
+
+class TestSets:
+    def test_tb_si_has_4_orbitals(self):
+        assert tight_binding_set().for_species("Si").num_orbitals == 4
+
+    def test_3sp_si_has_12_orbitals(self):
+        """Paper: NSS = 12 x N_atoms (e.g. 122 880 for 10 240 atoms)."""
+        assert gaussian_3sp_set().for_species("Si").num_orbitals == 12
+
+    def test_tb_orthogonal_3sp_not(self):
+        assert tight_binding_set().is_orthogonal
+        assert not gaussian_3sp_set().is_orthogonal
+
+    def test_functional_shift_ordering(self):
+        """HSE06 opens the gap relative to LDA (Fig. 1b)."""
+        assert functional_shift("lda") == 0.0
+        assert functional_shift("hse06") > functional_shift("pbe") > 0.0
+
+    def test_functional_shifts_p_onsite(self):
+        lda = tight_binding_set("lda").for_species("Si")
+        hse = tight_binding_set("hse06").for_species("Si")
+        assert hse.shells[1].energy - lda.shells[1].energy == pytest.approx(
+            functional_shift("hse06"))
+        assert hse.shells[0].energy == lda.shells[0].energy
+
+    def test_unknown_functional(self):
+        with pytest.raises(ConfigurationError):
+            functional_shift("b3lyp")
+
+    def test_unknown_species(self):
+        with pytest.raises(ConfigurationError):
+            tight_binding_set().for_species("Uuo")
+
+    def test_orbitals_per_atom(self):
+        s = silicon_nanowire(1.0, 2)
+        basis = gaussian_3sp_set()
+        per = basis.orbitals_per_atom(s)
+        assert all(p == 12 for p in per)
+        assert basis.total_orbitals(s) == 12 * s.num_atoms
+
+    def test_basisset_validation(self):
+        with pytest.raises(ConfigurationError):
+            BasisSet(name="x", species={}, cutoff=-1.0)
+        with pytest.raises(ConfigurationError):
+            BasisSet(name="x", species={}, cutoff=1.0, overlap_scale=1.5)
+
+
+class TestSlaterKoster:
+    SH_S = Shell(l=0, energy=-5.0, decay=0.15)
+    SH_P = Shell(l=1, energy=1.0, decay=0.15)
+
+    def test_radial_decays_monotonically(self):
+        rs = np.linspace(0.1, 0.6, 20)
+        vals = [radial(r, self.SH_S, self.SH_P) for r in rs]
+        assert all(b < a for a, b in zip(vals, vals[1:]))
+
+    def test_ss_block_isotropic(self):
+        d1 = shell_pair_block(self.SH_S, self.SH_S, np.array([0.2, 0, 0]),
+                              1.0, ETA_HAMILTONIAN)
+        d2 = shell_pair_block(self.SH_S, self.SH_S,
+                              np.array([0, 0.2, 0]), 1.0, ETA_HAMILTONIAN)
+        np.testing.assert_allclose(d1, d2)
+        assert d1.shape == (1, 1)
+        assert d1[0, 0] < 0  # bonding ss-sigma is negative
+
+    def test_sp_block_antisymmetric_under_reversal(self):
+        """H must come out symmetric: block(j,i) = block(i,j)^T."""
+        delta = np.array([0.12, 0.07, -0.05])
+        sp_ = shell_pair_block(self.SH_S, self.SH_P, delta, 1.0,
+                               ETA_HAMILTONIAN)
+        ps = shell_pair_block(self.SH_P, self.SH_S, -delta, 1.0,
+                              ETA_HAMILTONIAN)
+        np.testing.assert_allclose(ps, sp_.T, atol=1e-14)
+
+    def test_pp_block_symmetric_under_reversal(self):
+        delta = np.array([0.1, -0.2, 0.05])
+        ij = shell_pair_block(self.SH_P, self.SH_P, delta, 1.0,
+                              ETA_HAMILTONIAN)
+        ji = shell_pair_block(self.SH_P, self.SH_P, -delta, 1.0,
+                              ETA_HAMILTONIAN)
+        np.testing.assert_allclose(ji, ij.T, atol=1e-14)
+
+    def test_pp_eigenvalues_are_sigma_pi(self):
+        """Along any bond direction the pp block has eigenvalues
+        (V_ppsigma, V_pppi, V_pppi)."""
+        delta = np.array([0.1, 0.1, 0.1])
+        blk = shell_pair_block(self.SH_P, self.SH_P, delta, 1.0,
+                               ETA_HAMILTONIAN)
+        w = np.sort(np.linalg.eigvalsh(blk))
+        r = np.linalg.norm(delta)
+        rad = radial(r, self.SH_P, self.SH_P)
+        expect = np.sort([ETA_HAMILTONIAN[("pp", "sigma")] * rad,
+                          ETA_HAMILTONIAN[("pp", "pi")] * rad,
+                          ETA_HAMILTONIAN[("pp", "pi")] * rad])
+        np.testing.assert_allclose(w, expect, atol=1e-12)
+
+    def test_atom_pair_block_shape(self):
+        shells = (self.SH_S, self.SH_P)
+        blk = atom_pair_block(shells, shells, np.array([0.2, 0, 0]),
+                              1.0, ETA_OVERLAP)
+        assert blk.shape == (4, 4)
+
+    def test_onsite_block(self):
+        blk = onsite_block((self.SH_S, self.SH_P))
+        np.testing.assert_allclose(np.diag(blk), [-5.0, 1.0, 1.0, 1.0])
+        assert np.count_nonzero(blk - np.diag(np.diag(blk))) == 0
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_property_atom_block_reversal_symmetry(seed):
+    """For random geometry the full atom-pair block satisfies
+    B(j,i; -delta) = B(i,j; delta)^T — the requirement for symmetric H."""
+    rng = np.random.default_rng(seed)
+    delta = rng.uniform(-0.3, 0.3, 3)
+    if np.linalg.norm(delta) < 0.05:
+        delta = np.array([0.2, 0.0, 0.0])
+    shells = (Shell(0, -3.0, 0.12), Shell(1, 2.0, 0.18, weight=0.7))
+    fwd = atom_pair_block(shells, shells, delta, 1.3, ETA_HAMILTONIAN)
+    bwd = atom_pair_block(shells, shells, -delta, 1.3, ETA_HAMILTONIAN)
+    np.testing.assert_allclose(bwd, fwd.T, atol=1e-13)

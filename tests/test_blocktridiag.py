@@ -1,0 +1,135 @@
+"""Tests for the BlockTridiagonalMatrix container."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import BlockTridiagonalMatrix
+from repro.utils.errors import ShapeError
+
+
+def make_btd(block_sizes, seed=0, cplx=False, hermitian=False):
+    rng = np.random.default_rng(seed)
+
+    def blk(m, n):
+        b = rng.standard_normal((m, n))
+        if cplx:
+            b = b + 1j * rng.standard_normal((m, n))
+        return b
+
+    diag = [blk(s, s) for s in block_sizes]
+    upper = [blk(block_sizes[i], block_sizes[i + 1])
+             for i in range(len(block_sizes) - 1)]
+    if hermitian:
+        diag = [d + d.conj().T for d in diag]
+        lower = [u.conj().T for u in upper]
+    else:
+        lower = [blk(block_sizes[i + 1], block_sizes[i])
+                 for i in range(len(block_sizes) - 1)]
+    return BlockTridiagonalMatrix(diag, upper, lower)
+
+
+class TestConstruction:
+    def test_shape_and_counts(self):
+        a = make_btd([2, 3, 4])
+        assert a.num_blocks == 3
+        assert a.shape == (9, 9)
+        assert a.block_sizes == [2, 3, 4]
+        assert not a.is_uniform()
+        assert make_btd([3, 3]).is_uniform()
+
+    def test_offsets(self):
+        np.testing.assert_array_equal(
+            make_btd([2, 3, 4]).block_offsets(), [0, 2, 5, 9])
+
+    def test_nnz(self):
+        a = make_btd([2, 2])
+        assert a.nnz == 4 + 4 + 4 + 4
+
+    def test_rejects_inconsistent_counts(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix([np.eye(2)] * 3, [np.eye(2)], [np.eye(2)])
+
+    def test_rejects_nonsquare_diag(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix([np.zeros((2, 3))], [], [])
+
+    def test_rejects_bad_coupling_shape(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix(
+                [np.eye(2), np.eye(3)], [np.zeros((2, 2))], [np.zeros((3, 2))])
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("sizes", [[1], [3], [2, 3], [2, 3, 4, 2]])
+    def test_dense_roundtrip(self, sizes):
+        a = make_btd(sizes, cplx=True)
+        d = a.to_dense()
+        b = BlockTridiagonalMatrix.from_dense(d, sizes)
+        np.testing.assert_allclose(b.to_dense(), d)
+
+    def test_sparse_roundtrip(self):
+        a = make_btd([2, 4, 3], cplx=True)
+        s = a.to_sparse()
+        b = BlockTridiagonalMatrix.from_sparse(s, [2, 4, 3])
+        np.testing.assert_allclose(b.to_dense(), a.to_dense())
+
+    def test_from_dense_bad_sizes(self):
+        with pytest.raises(ShapeError):
+            BlockTridiagonalMatrix.from_dense(np.eye(5), [2, 2])
+
+    def test_residual_outside_band(self):
+        d = np.ones((4, 4))
+        a = BlockTridiagonalMatrix.from_dense(d, [1, 1, 1, 1])
+        # entries (0,2), (0,3) etc. are outside the tridiagonal band
+        assert a.residual_outside_band(d) == 1.0
+        assert a.residual_outside_band(a.to_dense()) == 0.0
+
+
+class TestAlgebra:
+    def test_matvec_matches_dense(self):
+        a = make_btd([2, 3, 2], seed=4, cplx=True)
+        x = np.random.default_rng(5).standard_normal((7, 3))
+        np.testing.assert_allclose(a.matvec(x), a.to_dense() @ x, atol=1e-12)
+
+    def test_matvec_vector(self):
+        a = make_btd([2, 2], seed=6)
+        x = np.arange(4.0)
+        np.testing.assert_allclose(a.matvec(x), a.to_dense() @ x)
+
+    def test_conjugate_transpose(self):
+        a = make_btd([2, 3], seed=7, cplx=True)
+        np.testing.assert_allclose(
+            a.conjugate_transpose().to_dense(), a.to_dense().conj().T)
+
+    def test_scale_add(self):
+        s = make_btd([2, 3, 2], seed=8, cplx=True)
+        h = make_btd([2, 3, 2], seed=9, cplx=True)
+        e = 0.37 + 0.001j
+        out = s.scale_add(e, h, -1.0)
+        np.testing.assert_allclose(
+            out.to_dense(), e * s.to_dense() - h.to_dense(), atol=1e-12)
+
+    def test_scale_add_rejects_mismatch(self):
+        with pytest.raises(ShapeError):
+            make_btd([2, 2]).scale_add(1.0, make_btd([2, 3]), 1.0)
+
+    def test_hermitian_error(self):
+        h = make_btd([3, 3, 3], seed=10, cplx=True, hermitian=True)
+        assert h.hermitian_error() < 1e-12
+        g = make_btd([3, 3], seed=11, cplx=True, hermitian=False)
+        assert g.hermitian_error() > 1e-3
+
+    def test_copy_is_deep(self):
+        a = make_btd([2, 2])
+        b = a.copy()
+        b.diag[0][0, 0] += 1.0
+        assert a.diag[0][0, 0] != b.diag[0][0, 0]
+
+
+@settings(max_examples=20, deadline=None)
+@given(nb=st.integers(1, 5), bs=st.integers(1, 4), seed=st.integers(0, 50))
+def test_property_sparse_dense_agree(nb, bs, seed):
+    a = make_btd([bs] * nb, seed=seed, cplx=True)
+    np.testing.assert_allclose(a.to_sparse().toarray(), a.to_dense())

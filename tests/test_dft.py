@@ -1,0 +1,148 @@
+"""Tests for the mini Kohn-Sham solver and the scissor operator."""
+
+import numpy as np
+import pytest
+
+from repro.basis import gaussian_3sp_set, tight_binding_set
+from repro.dft import (
+    kohn_sham_1d,
+    lead_gap,
+    scissor_lead,
+    synthetic_device_from_lead,
+)
+from repro.dft.kohn_sham import soft_coulomb
+from repro.hamiltonian import build_device
+from repro.negf import qtbm_energy_point
+from repro.structure import linear_chain, silicon_nanowire
+from repro.utils.errors import ConfigurationError
+from tests.test_hamiltonian import single_s_basis
+
+
+class TestKohnSham:
+    def test_harmonic_noninteracting_limit(self):
+        """With exchange off and a tiny density (2 electrons, wide trap)
+        the lowest eigenvalue approaches the harmonic value 0.5 omega
+        plus a Hartree shift; here we only check orbital structure and
+        normalization."""
+        res = kohn_sham_1d(lambda x: 0.5 * 0.25 * x ** 2, 2,
+                           length=24.0, num_points=241, exchange=False)
+        h = res.grid[1] - res.grid[0]
+        norm = np.sum(np.abs(res.orbitals[:, 0]) ** 2) * h
+        assert norm == pytest.approx(1.0, rel=1e-8)
+        assert res.iterations < 200
+
+    def test_density_integrates_to_electron_count(self):
+        res = kohn_sham_1d(lambda x: -2.0 * soft_coulomb(x, 0.0), 4,
+                           length=24.0, num_points=201)
+        h = res.grid[1] - res.grid[0]
+        assert np.sum(res.density) * h == pytest.approx(4.0, rel=1e-8)
+        assert np.all(res.density >= 0)
+
+    def test_density_symmetric_for_symmetric_potential(self):
+        res = kohn_sham_1d(lambda x: -1.5 * soft_coulomb(x, 0.0), 2,
+                           length=20.0, num_points=161)
+        np.testing.assert_allclose(res.density, res.density[::-1],
+                                   atol=1e-7)
+
+    def test_exchange_lowers_energy(self):
+        """LDA exchange is attractive: E_x < 0 lowers the total energy."""
+        kw = dict(num_electrons=2, length=20.0, num_points=161)
+        e_h = kohn_sham_1d(lambda x: -2.0 * soft_coulomb(x, 0.0),
+                           exchange=False, **kw).total_energy
+        e_x = kohn_sham_1d(lambda x: -2.0 * soft_coulomb(x, 0.0),
+                           exchange=True, **kw).total_energy
+        assert e_x < e_h
+
+    def test_molecular_potential_two_wells(self):
+        """An H2-like double well binds; bond density accumulates
+        between the nuclei."""
+        res = kohn_sham_1d(
+            lambda x: -soft_coulomb(x, -1.0) - soft_coulomb(x, 1.0), 2,
+            length=20.0, num_points=161)
+        mid = np.argmin(np.abs(res.grid))
+        edge = np.argmin(np.abs(res.grid - 5.0))
+        assert res.density[mid] > 10 * res.density[edge]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            kohn_sham_1d(lambda x: 0.0, 3)
+        with pytest.raises(ConfigurationError):
+            kohn_sham_1d(lambda x: 0.0, 2, num_points=5)
+
+
+class TestScissor:
+    @pytest.fixture(scope="class")
+    def wire_lead(self):
+        wire = silicon_nanowire(1.0, 4)
+        return build_device(wire, tight_binding_set(), num_cells=4).lead
+
+    def test_gap_detection(self, wire_lead):
+        gap, ev, ec = lead_gap(wire_lead, window=(-15, 15))
+        assert gap > 0.5
+        assert ec - ev == pytest.approx(gap)
+
+    def test_scissor_opens_gap_by_delta(self, wire_lead):
+        """The defining property: gap(HSE06) = gap(LDA) + Delta."""
+        delta = 0.65
+        g0, ev0, ec0 = lead_gap(wire_lead, window=(-15, 15))
+        corrected, err = scissor_lead(wire_lead, delta, num_ring=16)
+        g1, ev1, ec1 = lead_gap(corrected, window=(-15, 15))
+        assert g1 == pytest.approx(g0 + delta, abs=0.05)
+        # valence states untouched
+        assert ev1 == pytest.approx(ev0, abs=0.03)
+        assert err < 0.05
+
+    def test_zero_delta_identity(self, wire_lead):
+        corrected, err = scissor_lead(wire_lead, 0.0, num_ring=12)
+        np.testing.assert_allclose(corrected.h00, wire_lead.h00, atol=1e-8)
+        np.testing.assert_allclose(corrected.h01, wire_lead.h01, atol=1e-8)
+
+    def test_truncation_error_decreases_with_ring(self, wire_lead):
+        _, e8 = scissor_lead(wire_lead, 0.5, num_ring=8)
+        _, e16 = scissor_lead(wire_lead, 0.5, num_ring=16)
+        assert e16 <= e8 + 1e-12
+
+    def test_validation(self, wire_lead):
+        with pytest.raises(ConfigurationError):
+            scissor_lead(wire_lead, -0.1)
+        with pytest.raises(ConfigurationError):
+            scissor_lead(wire_lead, 0.1, num_ring=2)
+
+
+class TestSyntheticDevice:
+    def test_matches_real_pristine_device(self):
+        """A synthetic device from the chain lead must transport exactly
+        like the structure-built chain."""
+        chain = linear_chain(8, 0.25)
+        dev = build_device(chain, single_s_basis(), num_cells=8)
+        syn = synthetic_device_from_lead(dev.lead, 8)
+        for e in (0.3, 0.9):
+            t_real = qtbm_energy_point(dev, e, obc_method="dense",
+                                       solver="rgf").transmission_lr
+            t_syn = qtbm_energy_point(syn, e, obc_method="dense",
+                                      solver="rgf").transmission_lr
+            assert t_syn == pytest.approx(t_real, abs=1e-10)
+
+    def test_scissored_transmission_gap_wider(self):
+        """End-to-end Fig. 1(b): transmission through the scissored
+        (HSE06) wire must vanish in energies where the LDA wire conducts."""
+        wire = silicon_nanowire(1.0, 3)
+        lead = build_device(wire, tight_binding_set(),
+                            num_cells=3).lead
+        gap, ev, ec = lead_gap(lead, window=(-15, 15))
+        corrected, _ = scissor_lead(lead, 0.65, num_ring=12)
+        e_probe = ec + 0.3  # conducts in LDA, inside the HSE06 gap
+        dev_lda = synthetic_device_from_lead(lead, 4)
+        dev_hse = synthetic_device_from_lead(corrected, 4)
+        t_lda = qtbm_energy_point(dev_lda, e_probe, obc_method="dense",
+                                  solver="rgf").transmission_lr
+        t_hse = qtbm_energy_point(dev_hse, e_probe, obc_method="dense",
+                                  solver="rgf").transmission_lr
+        assert t_lda > 0.9
+        assert t_hse < 1e-6
+
+    def test_validation(self):
+        chain = linear_chain(4, 0.25)
+        lead = build_device(chain, single_s_basis(), num_cells=4).lead
+        with pytest.raises(ConfigurationError):
+            synthetic_device_from_lead(lead, 1)

@@ -1,0 +1,119 @@
+"""Tests for the paper's conclusion-section claims (extensions).
+
+1. Roofline: FEAST and SplitSolve are compute bound on a K20X.
+2. Generality: SplitSolve solves the Poisson equation (block
+   tridiagonal + boundary-driven RHS), matching the FD reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware.specs import K20X
+from repro.linalg import ledger_scope
+from repro.perfmodel.roofline import (
+    RooflinePoint,
+    roofline_from_ledger,
+    workload_roofline,
+)
+from repro.poisson import PoissonGrid, solve_poisson
+from repro.solvers import SplitSolve
+from repro.solvers.poisson_splitsolve import (
+    poisson_block_tridiagonal,
+    solve_poisson_splitsolve,
+)
+from repro.utils.errors import ConfigurationError
+from tests.test_solvers import make_system
+
+
+class TestRoofline:
+    def test_point_classification(self):
+        p = RooflinePoint("x", flops=1000, bytes_moved=10,
+                          device_peak_flops=100.0, device_bandwidth=10.0)
+        assert p.arithmetic_intensity == 100.0
+        assert p.ridge_point == 10.0
+        assert p.compute_bound
+        assert p.attainable_flops == 100.0
+        m = RooflinePoint("y", flops=10, bytes_moved=100,
+                          device_peak_flops=100.0, device_bandwidth=10.0)
+        assert not m.compute_bound
+        assert m.attainable_flops == pytest.approx(1.0)
+
+    def test_splitsolve_is_compute_bound_on_k20x(self):
+        """The conclusion's claim, checked on real kernel traffic."""
+        a, sl, sr, bt, bb = make_system(nb=8, bs=32, seed=60)
+        with ledger_scope() as led:
+            SplitSolve(a, 2, parallel=False).solve(sl, sr, bt, bb)
+        point = workload_roofline(led, K20X, name="SplitSolve")
+        assert point.compute_bound, point.row()
+        assert point.arithmetic_intensity > point.ridge_point
+
+    def test_feast_is_compute_bound_on_k20x(self):
+        from repro.obc import feast_annulus
+        from tests.test_obc_polynomial import random_pevp
+
+        pevp = random_pevp(n=24, nbw=2, seed=61)
+        with ledger_scope() as led:
+            feast_annulus(pevp, r_outer=2.5, seed=1)
+        point = workload_roofline(led, K20X, name="FEAST")
+        assert point.compute_bound, point.row()
+
+    def test_per_kernel_breakdown(self):
+        a, sl, sr, bt, bb = make_system(nb=6, bs=16, seed=62)
+        with ledger_scope() as led:
+            SplitSolve(a, 1, parallel=False).solve(sl, sr, bt, bb)
+        table = roofline_from_ledger(led, K20X)
+        assert "zgemm" in table
+        assert all(p.flops > 0 for p in table.values())
+        assert "bound" in table["zgemm"].row()
+
+    def test_empty_ledger_rejected(self):
+        from repro.linalg import FlopLedger
+
+        with pytest.raises(ConfigurationError):
+            workload_roofline(FlopLedger(), K20X)
+
+
+class TestPoissonSplitSolve:
+    def test_operator_is_block_tridiagonal(self):
+        g = PoissonGrid([0, 0, 0], [1, 0.5, 0.5], (6, 3, 3))
+        a = poisson_block_tridiagonal(g)
+        assert a.num_blocks == 6
+        assert a.block_sizes == [9] * 6
+        # exactness: the cut must lose nothing
+        from repro.poisson.fd import assemble_operator
+
+        ref = assemble_operator(g, np.ones(g.num_nodes)).toarray()
+        assert a.residual_outside_band(ref) == 0.0
+
+    @pytest.mark.parametrize("parts", [1, 2])
+    def test_two_plate_laplace_matches_fd_solver(self, parts):
+        """SplitSolve's answer == the standard FD Poisson solver's."""
+        g = PoissonGrid([0, 0, 0], [1, 0.5, 0.5], (8, 3, 3))
+        rho = np.zeros(g.num_nodes)
+        phi_ss = solve_poisson_splitsolve(g, rho, 0.0, 1.0,
+                                          num_partitions=parts)
+        pos = g.node_positions()
+        mask = (pos[:, 0] < 1e-9) | (pos[:, 0] > 1 - 1e-9)
+        vals = np.where(pos[:, 0] > 0.5, 1.0, 0.0)
+        phi_fd = solve_poisson(g, rho, 1.0, mask, vals)
+        np.testing.assert_allclose(phi_ss, phi_fd, atol=1e-9)
+        # and it is the physical linear ramp
+        np.testing.assert_allclose(phi_ss, pos[:, 0], atol=1e-9)
+
+    def test_interior_charge_path(self):
+        g = PoissonGrid([0, 0, 0], [1, 0.5, 0.5], (8, 3, 3))
+        rho = np.zeros(g.num_nodes)
+        center = np.argmin(
+            np.linalg.norm(g.node_positions() - [0.5, 0.25, 0.25], axis=1))
+        rho[center] = 1.0
+        phi = solve_poisson_splitsolve(g, rho, 0.0, 0.0)
+        assert phi[center] > 0
+        # plates stay pinned
+        pos = g.node_positions()
+        ends = (pos[:, 0] < 1e-9) | (pos[:, 0] > 1 - 1e-9)
+        np.testing.assert_allclose(phi[ends], 0.0, atol=1e-9)
+
+    def test_validation(self):
+        g = PoissonGrid([0, 0, 0], [1, 1, 1], (3, 3, 3))
+        with pytest.raises(ConfigurationError):
+            solve_poisson_splitsolve(g, np.zeros(5), 0.0, 1.0)

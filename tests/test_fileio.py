@@ -1,0 +1,75 @@
+"""Tests for the binary CP2K -> OMEN matrix transfer (paper Section 4)."""
+
+import numpy as np
+import pytest
+
+from repro.basis import tight_binding_set
+from repro.hamiltonian import assemble_k, build_matrices
+from repro.hamiltonian.builder import RealSpaceMatrices
+from repro.hamiltonian.fileio import (
+    distribute_matrices,
+    load_matrices,
+    save_matrices,
+)
+from repro.parallel import run_spmd
+from repro.structure import silicon_utb_film
+from repro.utils.errors import ConfigurationError
+
+
+@pytest.fixture()
+def rsm():
+    return build_matrices(silicon_utb_film(0.8, 2), tight_binding_set())
+
+
+class TestRoundTrip:
+    def test_images_and_offsets_preserved(self, rsm, tmp_path):
+        path = tmp_path / "hs.npz"
+        save_matrices(path, rsm)
+        images, offsets = load_matrices(path)
+        np.testing.assert_array_equal(offsets, rsm.offsets)
+        assert set(images) == set(rsm.images)
+        for key, (h, s) in rsm.images.items():
+            h2, s2 = images[key]
+            assert abs(h2 - h).max() < 1e-15
+            assert abs(s2 - s).max() < 1e-15
+
+    def test_consumer_can_assemble_hk(self, rsm, tmp_path):
+        """The OMEN side rebuilds H(k) from the file alone."""
+        path = tmp_path / "hs.npz"
+        save_matrices(path, rsm)
+        images, offsets = load_matrices(path)
+        rebuilt = RealSpaceMatrices(structure=None, basis=None,
+                                    images=images, offsets=offsets)
+        hk_file, sk_file = assemble_k(rebuilt, (0.0, 0.3))
+        hk_ref, sk_ref = assemble_k(rsm, (0.0, 0.3))
+        assert abs(hk_file - hk_ref).max() < 1e-15
+        assert abs(sk_file - sk_ref).max() < 1e-15
+
+    def test_version_check(self, rsm, tmp_path):
+        path = tmp_path / "hs.npz"
+        save_matrices(path, rsm)
+        with np.load(path) as f:
+            payload = {k: f[k] for k in f.files}
+        payload["format_version"] = np.array(999)
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ConfigurationError):
+            load_matrices(path)
+
+
+class TestDistribution:
+    def test_only_root_reads_then_all_ranks_hold_data(self, rsm, tmp_path):
+        """The paper's input stage: rank 0 loads, MPI_Bcast to all."""
+        path = tmp_path / "hs.npz"
+        save_matrices(path, rsm)
+
+        def prog(comm):
+            images, offsets = distribute_matrices(comm, path)
+            # every rank can assemble its own H(k)
+            rebuilt = RealSpaceMatrices(structure=None, basis=None,
+                                        images=images, offsets=offsets)
+            hk, _ = assemble_k(rebuilt, (0.0, 0.0))
+            return float(abs(hk).max())
+
+        results = run_spmd(3, prog)
+        assert len(set(results)) == 1
+        assert results[0] > 0

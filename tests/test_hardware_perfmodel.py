@@ -1,0 +1,233 @@
+"""Tests for the simulated machine and the performance model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import (
+    PIZ_DAINT,
+    TITAN,
+    PowerModel,
+    SimulatedMachine,
+    activity_table,
+    power_profile,
+)
+from repro.linalg import ledger_scope
+from repro.perfmodel import (
+    extrapolate_flops,
+    measure_flops,
+    splitsolve_flop_model,
+    strong_scaling_table,
+    weak_scaling_efficiency,
+    weak_scaling_table,
+)
+from repro.solvers import SplitSolve
+from repro.utils.errors import ConfigurationError
+from tests.test_solvers import make_system
+
+#: The paper's per-energy-point workload (Section 5E): 241 TFLOPs total,
+#: 11 on CPUs (OBCs) and 230 on GPUs (SplitSolve).
+GPU_FLOPS_PER_E = 230e12
+CPU_FLOPS_PER_E = 11e12
+
+
+class TestSpecs:
+    def test_table1_values(self):
+        assert TITAN.num_nodes == 18688
+        assert PIZ_DAINT.num_nodes == 5272
+        assert TITAN.node.gpu.model == "Tesla K20X"
+        assert TITAN.node.gpu.peak_dp_gflops == 1311.0
+        assert TITAN.node.cpu.peak_dp_gflops == pytest.approx(134.4)
+        assert PIZ_DAINT.node.cpu.peak_dp_gflops == pytest.approx(166.4)
+        assert "Titan" in TITAN.table_row()
+
+    def test_titan_half_cores_idle(self):
+        """Paper Section 5A: MAGMA contention idles half of Titan's
+        CPU cores, making SplitSolve ~10% slower per node than Daint."""
+        assert TITAN.node.usable_core_fraction == 0.5
+        assert PIZ_DAINT.node.usable_core_fraction == 1.0
+
+    def test_subset(self):
+        sub = TITAN.subset(756)
+        assert sub.num_nodes == 756
+        with pytest.raises(ConfigurationError):
+            TITAN.subset(10 ** 6)
+
+    def test_peak_pflops(self):
+        assert TITAN.peak_pflops == pytest.approx(
+            18688 * (134.4 + 1311.0) / 1e6, rel=1e-12)
+
+
+class TestMachineTiming:
+    def test_obc_hidden_under_splitsolve(self):
+        """FEAST (CPU) must be hidden: wall time = GPU time when the GPU
+        work dominates."""
+        m = SimulatedMachine(TITAN.subset(4))
+        t = m.time_energy_point(GPU_FLOPS_PER_E, CPU_FLOPS_PER_E, 4)
+        t_gpu_only = m.time_energy_point(GPU_FLOPS_PER_E, 0.0, 4)
+        assert t == pytest.approx(t_gpu_only)
+
+    def test_paper_time_per_point_magnitude(self):
+        """Paper Fig. 8: ~102 s per energy point for the 55488-atom
+        nanowire on 16 Titan nodes.  Our rate-calibrated model must land
+        in the same ballpark for the same flops (1.63 PFLOP/point
+        extrapolated for the nanowire; here we check the published UTB
+        230 TF / 4 nodes ~ 80-90 s)."""
+        m = SimulatedMachine(TITAN.subset(4))
+        t = m.time_energy_point(GPU_FLOPS_PER_E, CPU_FLOPS_PER_E, 4)
+        assert 40 < t < 160
+
+    def test_strong_scaling_efficiency_high(self):
+        """Table III: 97%+ efficiency from 756 to 18564 nodes."""
+        e_per_k = [int(59908 / 21)] * 21
+        ests, eff = strong_scaling_table(
+            TITAN, [756, 1512, 3024, 6048, 12096, 18564], e_per_k,
+            GPU_FLOPS_PER_E, CPU_FLOPS_PER_E, nodes_per_solver=4)
+        assert eff[0] == 1.0
+        assert eff[-1] > 0.93, f"efficiencies: {eff}"
+        assert all(e1.wall_time_s > e2.wall_time_s
+                   for e1, e2 in zip(ests, ests[1:]))
+
+    def test_sustained_pflops_matches_paper_scale(self):
+        """At 18564 nodes with the paper's per-point flops, the sustained
+        performance must land near the published 12.8-15 PFlop/s."""
+        e_per_k = [int(59908 / 21)] * 21
+        ests, _ = strong_scaling_table(TITAN, [18564], e_per_k,
+                                       GPU_FLOPS_PER_E, CPU_FLOPS_PER_E,
+                                       nodes_per_solver=4)
+        pf = ests[0].sustained_pflops
+        assert 10.0 < pf < 17.0, f"sustained {pf} PFlop/s"
+
+    def test_wall_time_near_paper(self):
+        """Paper Table III: 1130 s at 18564 nodes."""
+        e_per_k = [int(59908 / 21)] * 21
+        ests, _ = strong_scaling_table(TITAN, [18564], e_per_k,
+                                       GPU_FLOPS_PER_E, CPU_FLOPS_PER_E,
+                                       nodes_per_solver=4)
+        assert 700 < ests[0].wall_time_s < 1800
+
+    def test_broadcast_time_small(self):
+        m = SimulatedMachine(TITAN)
+        t = m.broadcast_time(1e9)  # 1 GB H/S data
+        assert 0 < t < 300  # paper: ~4 min setup including IO
+
+
+class TestCostModel:
+    def test_exact_match_single_partition(self):
+        """The analytic model must equal the measured ledger EXACTLY for
+        one partition — 'the number of FLOPs ... is deterministic'."""
+        a, sl, sr, bt, bb = make_system(nb=8, bs=3, seed=50)
+        ss = SplitSolve(a, num_partitions=1, parallel=False,
+                        hermitian=False)
+        _, led = measure_flops(ss.solve, sl, sr, bt, bb)
+        model = splitsolve_flop_model(8, 3, num_rhs=3, num_partitions=1)
+        assert led.total_flops == model
+
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_close_match_multi_partition(self, parts):
+        a, sl, sr, bt, bb = make_system(nb=8, bs=3, seed=51)
+        ss = SplitSolve(a, num_partitions=parts, parallel=False,
+                        hermitian=False)
+        _, led = measure_flops(ss.solve, sl, sr, bt, bb)
+        model = splitsolve_flop_model(8, 3, num_rhs=3,
+                                      num_partitions=parts)
+        assert abs(led.total_flops - model) / model < 0.10
+
+    def test_hermitian_model_cheaper(self):
+        full = splitsolve_flop_model(8, 4, 2, hermitian=False)
+        herm = splitsolve_flop_model(8, 4, 2, hermitian=True)
+        assert herm < full
+
+    def test_model_scaling_law(self):
+        """F ~ nb * s^3 dominates for large blocks."""
+        f1 = splitsolve_flop_model(10, 20, 2)
+        f2 = splitsolve_flop_model(20, 40, 2)
+        assert f2 / f1 == pytest.approx(2 * 8, rel=0.15)
+
+    def test_extrapolation(self):
+        small = dict(num_blocks=8, block_size=3)
+        big = dict(num_blocks=72, block_size=3840)
+        f = extrapolate_flops(1e9, small, big)
+        assert f == pytest.approx(1e9 * 9 * (1280.0) ** 3, rel=1e-12)
+        with pytest.raises(ConfigurationError):
+            extrapolate_flops(1.0, {"num_blocks": 0, "block_size": 1}, big)
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            splitsolve_flop_model(1, 4, 1)
+
+
+class TestPower:
+    def test_machine_power_in_megawatt_range(self):
+        """Fig. 12a: Titan averages 7.6 MW during the 15 PFlop/s run."""
+        pm = PowerModel(TITAN)
+        avg_gpu = 146.0
+        p = pm.machine_power(avg_gpu)
+        assert 4e6 < p < 12e6, f"machine power {p / 1e6:.1f} MW"
+
+    def test_gpu_efficiency_figure(self):
+        """5396 MFLOPS/W at the GPU level (146 W avg, 230 TF/point)."""
+        pm = PowerModel(TITAN)
+        # one GPU's share: 230 TF over 4 nodes in ~292 s
+        t = SimulatedMachine(TITAN.subset(4)).time_energy_point(
+            GPU_FLOPS_PER_E, 0.0, 4)
+        val = pm.mflops_per_watt_gpu(GPU_FLOPS_PER_E / 4, t, 146.0)
+        assert 2000 < val < 9000
+
+    def test_power_profile_periodic(self):
+        pm = PowerModel(TITAN)
+        prof = power_profile(pm, [("factorization", 40.0), ("gemm", 40.0),
+                                  ("transfer", 5.0)], points_per_group=3)
+        assert prof.shape[1] == 3
+        # machine power stays in the MW range throughout
+        assert np.all(prof[:, 1] > 1.0) and np.all(prof[:, 1] < 15.0)
+        # gpu power varies across phases
+        assert prof[:, 2].max() > prof[:, 2].min()
+
+    def test_power_profile_validation(self):
+        pm = PowerModel(TITAN)
+        with pytest.raises(ConfigurationError):
+            power_profile(pm, [])
+        with pytest.raises(ConfigurationError):
+            power_profile(pm, [("warp-drive", 1.0)])
+
+
+class TestTrace:
+    def test_activity_from_real_splitsolve_run(self):
+        """Fig. 12b: per-device phase activity from real kernel events."""
+        a, sl, sr, bt, bb = make_system(nb=8, bs=3, seed=52)
+        with ledger_scope(trace=True) as led:
+            SplitSolve(a, 2, parallel=False).solve(sl, sr, bt, bb)
+        table = activity_table(led.events)
+        assert set(table) >= {"gpu0", "gpu1", "gpu2", "gpu3"}
+        g0 = table["gpu0"]
+        assert g0.flops > 0
+        assert "P1" in g0.by_phase
+        assert 0 <= g0.utilization <= 1.0
+
+    def test_empty_events_rejected(self):
+        with pytest.raises(ConfigurationError):
+            activity_table([])
+
+
+class TestWeakScaling:
+    def test_table2_shape(self):
+        """Table II: E/node in a narrow band, normalized time ~constant."""
+        rows = weak_scaling_table(
+            TITAN, [588, 1176, 2352, 4704, 9408, 18564],
+            e_per_node_target=13.5,
+            gpu_flops_per_point=GPU_FLOPS_PER_E,
+            cpu_flops_per_point=CPU_FLOPS_PER_E,
+            num_k=21, nodes_per_solver=4, seed=7)
+        e_per_node = [r.avg_e_per_node for r in rows]
+        assert all(11.5 < e < 15.5 for e in e_per_node)
+        spread = weak_scaling_efficiency(rows)
+        assert spread < 0.25, f"normalized-time spread {spread:.2%}"
+
+    def test_times_in_paper_range(self):
+        """Table II times are 1100-1300 s at ~13.5 E/node."""
+        rows = weak_scaling_table(
+            TITAN, [588, 18564], e_per_node_target=13.5,
+            gpu_flops_per_point=GPU_FLOPS_PER_E,
+            cpu_flops_per_point=CPU_FLOPS_PER_E, seed=3)
+        for r in rows:
+            assert 600 < r.time_s < 2500, f"time {r.time_s}"

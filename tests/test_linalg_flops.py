@@ -1,0 +1,141 @@
+"""Tests for the flop ledger (PAPI substitute) and analytic counts."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.linalg import (
+    FlopLedger,
+    current_ledger,
+    eig_flops,
+    gemm,
+    gemm_flops,
+    global_ledger,
+    ledger_scope,
+    lu_factor,
+    lu_flops,
+    lu_solve,
+    solve,
+    solve_flops,
+    trsm_flops,
+)
+from repro.linalg.flops import device_scope
+
+
+class TestFormulas:
+    def test_gemm_real(self):
+        assert gemm_flops(2, 3, 4, is_complex=False) == 2 * 2 * 3 * 4
+
+    def test_gemm_complex_is_4x(self):
+        assert gemm_flops(5, 6, 7, True) == 4 * gemm_flops(5, 6, 7, False)
+
+    def test_lu(self):
+        assert lu_flops(3, is_complex=False) == round(2 / 3 * 27)
+
+    def test_solve_composition(self):
+        n, nrhs = 10, 3
+        assert solve_flops(n, nrhs, False) == (
+            lu_flops(n, False) + 2 * trsm_flops(n, nrhs, False))
+
+    def test_eig_scale(self):
+        assert eig_flops(10, False) == 25 * 1000
+
+
+class TestLedger:
+    def test_scope_isolates_from_global(self):
+        g0 = global_ledger().total_flops
+        a = np.random.default_rng(0).standard_normal((8, 8))
+        with ledger_scope() as led:
+            gemm(a, a)
+        assert led.total_flops == gemm_flops(8, 8, 8, False)
+        assert global_ledger().total_flops == g0
+
+    def test_gemm_count_recorded_by_kernel(self):
+        a = np.random.default_rng(0).standard_normal((4, 6))
+        b = np.random.default_rng(1).standard_normal((6, 5))
+        with ledger_scope() as led:
+            gemm(a, b)
+        assert led.flops_by_kernel["dgemm"] == gemm_flops(4, 5, 6, False)
+
+    def test_complex_kernel_names(self):
+        a = np.eye(4, dtype=complex)
+        with ledger_scope() as led:
+            gemm(a, a)
+        assert "zgemm" in led.flops_by_kernel
+
+    def test_solve_count(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((12, 12)) + 12 * np.eye(12)
+        b = rng.standard_normal((12, 4))
+        with ledger_scope() as led:
+            solve(a, b)
+        assert led.total_flops == solve_flops(12, 4, False)
+
+    def test_lu_factor_solve_roundtrip_counts(self):
+        rng = np.random.default_rng(3)
+        a = rng.standard_normal((9, 9)) + 9 * np.eye(9)
+        b = rng.standard_normal((9, 2))
+        with ledger_scope() as led:
+            fac = lu_factor(a)
+            x = lu_solve(fac, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-10)
+        assert led.flops_by_kernel["dgetrf"] == lu_flops(9, False)
+        assert led.flops_by_kernel["dgetrs"] == 2 * trsm_flops(9, 2, False)
+
+    def test_device_attribution(self):
+        a = np.eye(3)
+        with ledger_scope() as led:
+            with device_scope("gpu0"):
+                gemm(a, a)
+            gemm(a, a)
+        assert led.flops_by_device["gpu0"] == gemm_flops(3, 3, 3, False)
+        assert led.flops_by_device["cpu"] == gemm_flops(3, 3, 3, False)
+        assert led.flops_on("gpu") == gemm_flops(3, 3, 3, False)
+
+    def test_merge(self):
+        l1 = FlopLedger()
+        l2 = FlopLedger()
+        l1.record("dgemm", 100, 10, device="gpu0")
+        l2.record("dgemm", 50, 5, device="gpu1")
+        l1.merge(l2)
+        assert l1.total_flops == 150
+        assert l1.bytes_by_device["gpu1"] == 5
+
+    def test_reset(self):
+        led = FlopLedger()
+        led.record("x", 5)
+        led.reset()
+        assert led.total_flops == 0
+
+    def test_trace_events(self):
+        a = np.eye(4)
+        with ledger_scope(trace=True) as led:
+            gemm(a, a, tag="phase-P1")
+        assert len(led.events) == 1
+        ev = led.events[0]
+        assert ev.kernel == "dgemm"
+        assert ev.tag == "phase-P1"
+        assert ev.duration >= 0.0
+
+    def test_thread_local_scoping(self):
+        """Each thread's ledger_scope must not leak into other threads."""
+        results = {}
+
+        def worker(name, n):
+            a = np.eye(n)
+            with ledger_scope() as led:
+                gemm(a, a)
+                results[name] = led.total_flops
+
+        ts = [threading.Thread(target=worker, args=(f"t{n}", n))
+              for n in (3, 5)]
+        for t in ts:
+            t.start()
+        for t in ts:
+            t.join()
+        assert results["t3"] == gemm_flops(3, 3, 3, False)
+        assert results["t5"] == gemm_flops(5, 5, 5, False)
+
+    def test_current_ledger_default_is_global(self):
+        assert current_ledger() is global_ledger()

@@ -1,0 +1,116 @@
+"""Correctness tests for the instrumented kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import eig, eigh, gemm, geig, inv, qr_orth, solve, solve_many
+from repro.utils.errors import ShapeError, SingularMatrixError
+
+
+def _rand(shape, seed=0, cplx=False):
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal(shape)
+    if cplx:
+        a = a + 1j * rng.standard_normal(shape)
+    return a
+
+
+class TestGemm:
+    def test_matches_numpy(self):
+        a, b = _rand((4, 7), 1), _rand((7, 3), 2)
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_complex(self):
+        a, b = _rand((4, 4), 1, True), _rand((4, 4), 2, True)
+        np.testing.assert_allclose(gemm(a, b), a @ b)
+
+    def test_shape_error(self):
+        with pytest.raises(ShapeError):
+            gemm(np.eye(3), np.eye(4))
+
+
+class TestSolve:
+    def test_general(self):
+        a = _rand((10, 10), 1) + 10 * np.eye(10)
+        b = _rand((10, 3), 2)
+        x = solve(a, b)
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+    def test_hermitian_path(self):
+        a = _rand((8, 8), 3, True)
+        a = a + a.conj().T + 8 * np.eye(8)
+        b = _rand((8, 2), 4, True)
+        x = solve(a, b, assume_a="her")
+        np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+    def test_singular_raises(self):
+        with pytest.raises(SingularMatrixError):
+            solve(np.zeros((3, 3)), np.ones((3, 1)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ShapeError):
+            solve(np.eye(3), np.ones((4, 1)))
+
+    def test_solve_many_shares_factorization(self):
+        a = _rand((6, 6), 5) + 6 * np.eye(6)
+        bs = [_rand((6, 2), s) for s in (6, 7, 8)]
+        xs = solve_many(a, bs)
+        for b, x in zip(bs, xs):
+            np.testing.assert_allclose(a @ x, b, atol=1e-9)
+
+
+class TestInvEig:
+    def test_inv(self):
+        a = _rand((7, 7), 6) + 7 * np.eye(7)
+        np.testing.assert_allclose(inv(a) @ a, np.eye(7), atol=1e-9)
+
+    def test_inv_singular(self):
+        with pytest.raises(SingularMatrixError):
+            inv(np.zeros((2, 2)))
+
+    def test_eig_reconstruction(self):
+        a = _rand((6, 6), 7, True)
+        w, v = eig(a)
+        np.testing.assert_allclose(a @ v, v @ np.diag(w), atol=1e-8)
+
+    def test_eigh_real_eigenvalues(self):
+        a = _rand((6, 6), 8, True)
+        a = a + a.conj().T
+        w, v = eigh(a)
+        assert np.isrealobj(w)
+        np.testing.assert_allclose(a @ v, v * w, atol=1e-8)
+
+    def test_eigh_generalized(self):
+        a = _rand((5, 5), 9, True)
+        a = a + a.conj().T
+        b = _rand((5, 5), 10, True)
+        b = b @ b.conj().T + 5 * np.eye(5)
+        w, v = eigh(a, b)
+        np.testing.assert_allclose(a @ v, b @ v * w, atol=1e-8)
+
+    def test_geig(self):
+        a = _rand((6, 6), 11, True)
+        b = _rand((6, 6), 12, True) + 6 * np.eye(6)
+        w, v = geig(a, b)
+        finite = np.isfinite(w)
+        np.testing.assert_allclose(
+            a @ v[:, finite], b @ v[:, finite] * w[finite], atol=1e-7)
+
+    def test_qr_orth(self):
+        a = _rand((10, 4), 13, True)
+        q = qr_orth(a)
+        np.testing.assert_allclose(q.conj().T @ q, np.eye(4), atol=1e-10)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 12), nrhs=st.integers(1, 4), seed=st.integers(0, 99))
+def test_solve_property_random_diagonally_dominant(n, nrhs, seed):
+    """solve() inverts any well-conditioned system it is given."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) + 1j * rng.standard_normal((n, n))
+    a += 2 * n * np.eye(n)
+    b = rng.standard_normal((n, nrhs))
+    x = solve(a, b)
+    np.testing.assert_allclose(a @ x, b, atol=1e-8)

@@ -1,0 +1,151 @@
+"""Tests for the lead polynomial EVP and its companion linearization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hamiltonian import build_device
+from repro.obc import PolynomialEVP
+from repro.structure import linear_chain
+from repro.utils.errors import ConfigurationError, ShapeError
+from tests.test_hamiltonian import single_s_basis
+
+
+def chain_lead(cutoff=0.27, energy=0.3):
+    """(lead, pevp) of the single-orbital chain."""
+    dev = build_device(linear_chain(8, 0.25), single_s_basis(cutoff),
+                       num_cells=8)
+    return dev.lead, PolynomialEVP(dev.lead.h_cells, dev.lead.s_cells,
+                                   energy)
+
+
+def random_pevp(n=3, nbw=2, energy=0.1, seed=0):
+    """Random Hermitian-structured lead blocks."""
+    rng = np.random.default_rng(seed)
+    h_cells = []
+    s_cells = []
+    for l in range(nbw + 1):
+        h = rng.standard_normal((n, n)) * 0.5 ** l
+        s = rng.standard_normal((n, n)) * 0.1 * 0.5 ** l
+        if l == 0:
+            h = (h + h.T) / 2
+            s = (s + s.T) / 2 + np.eye(n)
+        h_cells.append(h)
+        s_cells.append(s)
+    return PolynomialEVP(h_cells, s_cells, energy)
+
+
+class TestConstruction:
+    def test_chain_coefficients(self):
+        lead, pevp = chain_lead(energy=0.3)
+        t = lead.h01[0, 0]
+        assert pevp.nbw == 1
+        assert pevp.degree == 2
+        # C = [Htilde_-1, Htilde_0, Htilde_1] = [t, -E, t] for S = 1.
+        np.testing.assert_allclose(pevp.coeffs[0], [[t]])
+        np.testing.assert_allclose(pevp.coeffs[1], [[-0.3]])
+        np.testing.assert_allclose(pevp.coeffs[2], [[t]])
+
+    def test_eval_polynomial(self):
+        pevp = random_pevp()
+        z = 0.7 + 0.2j
+        expect = sum((z ** m) * c for m, c in enumerate(pevp.coeffs))
+        np.testing.assert_allclose(pevp.eval(z), expect)
+
+    def test_size(self):
+        pevp = random_pevp(n=3, nbw=2)
+        assert pevp.size == 2 * 2 * 3
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PolynomialEVP([np.eye(2)], [np.eye(2)], 0.0)
+        with pytest.raises(ConfigurationError):
+            PolynomialEVP([np.eye(2)] * 2, [np.eye(2)] * 3, 0.0)
+        with pytest.raises(ShapeError):
+            PolynomialEVP([np.eye(2), np.eye(3)], [np.eye(2)] * 2, 0.0)
+
+
+class TestDenseSolve:
+    def test_chain_modes_analytic(self):
+        """In-band chain modes are lambda = exp(+-ik), cos k=(E-eps)/2t."""
+        lead, pevp = chain_lead(energy=0.3)
+        t = lead.h01[0, 0]
+        lams, us = pevp.solve_dense()
+        assert len(lams) == 2
+        cosk = 0.3 / (2 * t)
+        k = np.arccos(cosk)
+        expect = {np.exp(1j * k), np.exp(-1j * k)}
+        for lam in lams:
+            assert min(abs(lam - e) for e in expect) < 1e-10
+        np.testing.assert_allclose(np.abs(lams), 1.0, atol=1e-10)
+
+    def test_chain_outside_band_decaying(self):
+        lead, pevp = chain_lead(energy=5.0)  # way outside the band
+        lams, _ = pevp.solve_dense()
+        assert len(lams) == 2
+        assert not np.any(np.isclose(np.abs(lams), 1.0, atol=1e-6))
+        # reciprocal pair: lambda1 * lambda2 = 1 (Htilde_-1 = Htilde_1 here)
+        np.testing.assert_allclose(np.prod(lams), 1.0, atol=1e-8)
+
+    def test_residuals_small(self):
+        pevp = random_pevp(n=4, nbw=2, seed=3)
+        lams, us = pevp.solve_dense()
+        for i, lam in enumerate(lams):
+            assert pevp.residual(lam, us[:, i]) < 1e-8
+
+    def test_reciprocal_symmetry_hermitian_blocks(self):
+        """For Hermitian lead blocks and real E, eigenvalues pair as
+        (lambda, 1/conj(lambda)) — the left/right mode symmetry."""
+        pevp = random_pevp(n=3, nbw=1, seed=5)
+        lams, _ = pevp.solve_dense()
+        for lam in lams:
+            partner = 1.0 / np.conj(lam)
+            assert min(abs(lams - partner)) < 1e-7
+
+
+class TestResolventReduction:
+    """The 'analytical block LU' reduction must equal the full solve."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    @pytest.mark.parametrize("nbw", [1, 2, 3])
+    def test_matches_dense_resolvent(self, seed, nbw):
+        pevp = random_pevp(n=3, nbw=nbw, seed=seed)
+        a, b = pevp.pencil()
+        rng = np.random.default_rng(seed + 100)
+        y = rng.standard_normal((pevp.size, 4)) \
+            + 1j * rng.standard_normal((pevp.size, 4))
+        z = 1.3 * np.exp(0.4j)
+        x_fast = pevp.resolvent_apply(z, y)
+        x_ref = np.linalg.solve(z * b - a, b @ y)
+        np.testing.assert_allclose(x_fast, x_ref, atol=1e-9)
+
+    def test_vector_rhs(self):
+        pevp = random_pevp()
+        y = np.ones(pevp.size, dtype=complex)
+        x = pevp.resolvent_apply(0.9j, y)
+        assert x.shape == (pevp.size,)
+
+    def test_factor_reuse(self):
+        pevp = random_pevp()
+        z = 1.1 + 0.3j
+        fac = pevp.factor_reduced(z)
+        y = np.ones((pevp.size, 2), dtype=complex)
+        x1 = pevp.resolvent_apply(z, y, factor=fac)
+        x2 = pevp.resolvent_apply(z, y)
+        np.testing.assert_allclose(x1, x2)
+
+    def test_wrong_rows_rejected(self):
+        pevp = random_pevp()
+        with pytest.raises(ShapeError):
+            pevp.resolvent_apply(1.0j, np.ones((3, 2)))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 200), nbw=st.integers(1, 3))
+def test_property_pencil_eigs_satisfy_polynomial(seed, nbw):
+    """Every finite pencil eigenpair solves the matrix polynomial."""
+    pevp = random_pevp(n=2, nbw=nbw, energy=0.2, seed=seed)
+    lams, us = pevp.solve_dense()
+    for i, lam in enumerate(lams):
+        assert pevp.residual(lam, us[:, i]) < 1e-6

@@ -1,0 +1,189 @@
+"""Tests for the Poisson solver, gates, and the self-consistent loop."""
+
+import numpy as np
+import pytest
+
+from repro.poisson import (
+    PoissonGrid,
+    double_gate_mask,
+    schroedinger_poisson,
+    solve_poisson,
+    wrap_gate_mask,
+)
+from repro.poisson.grid import EPS0_E_PER_V_NM
+from repro.structure import linear_chain
+from repro.utils.errors import ConfigurationError, ShapeError
+from tests.test_hamiltonian import single_s_basis
+
+
+class TestGrid:
+    def test_shape_and_spacing(self):
+        g = PoissonGrid([0, 0, 0], [2.0, 1.0, 1.0], (5, 3, 3))
+        np.testing.assert_allclose(g.h, [0.5, 0.5, 0.5])
+        assert g.num_nodes == 45
+
+    def test_for_structure_covers_atoms(self):
+        s = linear_chain(6, 0.25)
+        g = PoissonGrid.for_structure(s, spacing=0.2, padding=0.3)
+        pos = g.node_positions()
+        assert pos[:, 0].min() <= s.positions[:, 0].min()
+        assert pos[:, 0].max() >= s.positions[:, 0].max()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PoissonGrid([0, 0, 0], [1, 1, 1], (1, 3, 3))
+        with pytest.raises(ConfigurationError):
+            PoissonGrid([0, 0, 0], [0, 1, 1], (3, 3, 3))
+
+    def test_charge_conservation(self):
+        """Cloud-in-cell must conserve total charge exactly."""
+        g = PoissonGrid([0, 0, 0], [1, 1, 1], (6, 6, 6))
+        rng = np.random.default_rng(0)
+        pos = rng.uniform(0.1, 0.9, size=(20, 3))
+        q = rng.standard_normal(20)
+        rho = g.assign_charge(pos, q)
+        cell_vol = np.prod(g.h)
+        assert rho.sum() * cell_vol == pytest.approx(q.sum(), rel=1e-12)
+
+    def test_interpolate_recovers_linear_field(self):
+        """Trilinear interpolation is exact for linear fields."""
+        g = PoissonGrid([0, 0, 0], [1, 2, 1], (4, 5, 4))
+        nodes = g.node_positions()
+        field = 2.0 * nodes[:, 0] - nodes[:, 1] + 0.5 * nodes[:, 2]
+        pts = np.array([[0.3, 1.1, 0.7], [0.9, 0.2, 0.1]])
+        got = g.interpolate(field, pts)
+        want = 2.0 * pts[:, 0] - pts[:, 1] + 0.5 * pts[:, 2]
+        np.testing.assert_allclose(got, want, atol=1e-12)
+
+    def test_interpolate_size_check(self):
+        g = PoissonGrid([0, 0, 0], [1, 1, 1], (3, 3, 3))
+        with pytest.raises(ConfigurationError):
+            g.interpolate(np.zeros(5), np.zeros((1, 3)))
+
+
+class TestPoissonSolver:
+    def test_laplace_between_plates(self):
+        """No charge, phi pinned at two x-faces: linear ramp."""
+        g = PoissonGrid([0, 0, 0], [1, 0.5, 0.5], (11, 4, 4))
+        pos = g.node_positions()
+        mask = (pos[:, 0] < 1e-9) | (pos[:, 0] > 1 - 1e-9)
+        vals = np.where(pos[:, 0] > 0.5, 1.0, 0.0)
+        phi = solve_poisson(g, np.zeros(g.num_nodes), 1.0, mask, vals)
+        np.testing.assert_allclose(phi, pos[:, 0], atol=1e-10)
+
+    def test_manufactured_solution(self):
+        """rho chosen so phi = sin(pi x) between grounded plates."""
+        nx = 41
+        g = PoissonGrid([0, 0, 0], [1, 0.4, 0.4], (nx, 3, 3))
+        pos = g.node_positions()
+        x = pos[:, 0]
+        phi_exact = np.sin(np.pi * x)
+        # -d2/dx2 phi = pi^2 sin(pi x) = rho / eps0  (eps_r = 1)
+        rho = np.pi ** 2 * np.sin(np.pi * x) * EPS0_E_PER_V_NM
+        mask = (x < 1e-9) | (x > 1 - 1e-9)
+        phi = solve_poisson(g, rho, 1.0, mask, np.zeros(g.num_nodes))
+        assert np.max(np.abs(phi - phi_exact)) < 2e-3
+
+    def test_dielectric_interface_continuity(self):
+        """Across an eps step the displacement eps*dphi/dx is continuous."""
+        g = PoissonGrid([0, 0, 0], [1, 0.4, 0.4], (41, 3, 3))
+        pos = g.node_positions()
+        x = pos[:, 0]
+        eps = np.where(x < 0.5, 1.0, 4.0)
+        mask = (x < 1e-9) | (x > 1 - 1e-9)
+        vals = np.where(x > 0.5, 1.0, 0.0)
+        phi = solve_poisson(g, np.zeros(g.num_nodes), eps, mask, vals)
+        phi3d = phi.reshape(g.shape)
+        line = phi3d[:, 1, 1]
+        h = g.h[0]
+        # field in each half (away from interface)
+        e1 = (line[5] - line[4]) / h
+        e2 = (line[36] - line[35]) / h
+        assert 1.0 * e1 == pytest.approx(4.0 * e2, rel=1e-6)
+
+    def test_neumann_mean_pinned(self):
+        g = PoissonGrid([0, 0, 0], [1, 1, 1], (5, 5, 5))
+        rho = np.zeros(g.num_nodes)
+        phi = solve_poisson(g, rho)
+        np.testing.assert_allclose(phi, 0.0, atol=1e-12)
+
+    def test_positive_charge_positive_potential(self):
+        g = PoissonGrid([0, 0, 0], [1, 1, 1], (9, 9, 9))
+        pos = g.node_positions()
+        mask = np.zeros(g.num_nodes, dtype=bool)
+        # ground the outer shell
+        for d in range(3):
+            mask |= (pos[:, d] < 1e-9) | (pos[:, d] > 1 - 1e-9)
+        rho = g.assign_charge(np.array([[0.5, 0.5, 0.5]]), np.array([1.0]))
+        phi = solve_poisson(g, rho, 1.0, mask, np.zeros(g.num_nodes))
+        center = np.argmin(np.linalg.norm(pos - 0.5, axis=1))
+        assert phi[center] > 0
+
+    def test_validation(self):
+        g = PoissonGrid([0, 0, 0], [1, 1, 1], (3, 3, 3))
+        with pytest.raises(ShapeError):
+            solve_poisson(g, np.zeros(5))
+        with pytest.raises(ConfigurationError):
+            solve_poisson(g, np.zeros(27), eps_r=-1.0)
+        with pytest.raises(ConfigurationError):
+            solve_poisson(g, np.zeros(27),
+                          dirichlet_mask=np.ones(27, dtype=bool))
+
+
+class TestGateMasks:
+    def test_double_gate_plates(self):
+        g = PoissonGrid([0, 0, 0], [4, 1, 1], (9, 5, 5))
+        mask = double_gate_mask(g, 0.25, 0.75)
+        pos = g.node_positions()
+        assert mask.any()
+        sel = pos[mask]
+        assert sel[:, 0].min() >= 1.0 - 1e-9
+        assert sel[:, 0].max() <= 3.0 + 1e-9
+        ys = np.unique(sel[:, 1])
+        np.testing.assert_allclose(ys, [0.0, 1.0])
+
+    def test_wrap_gate_shell(self):
+        g = PoissonGrid([0, 0, 0], [4, 2, 2], (9, 9, 9))
+        mask = wrap_gate_mask(g, 0.25, 0.75, inner_radius=0.8)
+        pos = g.node_positions()
+        sel = pos[mask]
+        r = np.linalg.norm(sel[:, 1:] - 1.0, axis=1)
+        assert mask.any()
+        assert r.min() >= 0.8 - 1e-9
+
+    def test_gate_window_validation(self):
+        g = PoissonGrid([0, 0, 0], [4, 1, 1], (5, 3, 3))
+        with pytest.raises(ConfigurationError):
+            double_gate_mask(g, 0.8, 0.2)
+        with pytest.raises(ConfigurationError):
+            wrap_gate_mask(g, 0.2, 0.8, inner_radius=0.0)
+
+
+class TestSCF:
+    def test_equilibrium_converges(self):
+        """Neutral chain at equilibrium: the loop must converge and the
+        residual must decrease."""
+        chain = linear_chain(8, 0.25)
+        res = schroedinger_poisson(
+            chain, single_s_basis(), 8, mu_l=-0.5, mu_r=-0.5,
+            e_window=(-1.5, 0.0), mixing=0.3, max_iter=20, tol=1e-3,
+            density_scale=0.05)
+        assert res.converged, f"residuals: {res.residuals}"
+        assert res.residuals[-1] < 1e-3
+        assert res.potential_atom.shape == (8,)
+        assert np.all(res.density_atom >= 0)
+
+    def test_contacts_frozen(self):
+        chain = linear_chain(8, 0.25)
+        res = schroedinger_poisson(
+            chain, single_s_basis(), 8, mu_l=-0.5, mu_r=-0.5,
+            e_window=(-1.5, 0.0), mixing=0.3, max_iter=5, tol=1e-12,
+            density_scale=0.05)
+        assert res.potential_atom[0] == 0.0
+        assert res.potential_atom[-1] == 0.0
+
+    def test_bad_mixing(self):
+        chain = linear_chain(6, 0.25)
+        with pytest.raises(ConfigurationError):
+            schroedinger_poisson(chain, single_s_basis(), 6, 0.0, 0.0,
+                                 (-1.0, 0.0), mixing=0.0)

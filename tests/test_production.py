@@ -1,0 +1,53 @@
+"""Tests for the multi-bias production driver."""
+
+import numpy as np
+import pytest
+
+from repro.core.production import run_production
+from repro.structure import linear_chain
+from repro.utils.errors import ConfigurationError
+from tests.test_hamiltonian import single_s_basis
+
+
+@pytest.fixture(scope="module")
+def iv_result():
+    chain = linear_chain(8, 0.25)
+    return run_production(chain, single_s_basis(), 8,
+                          bias_points=[0.0, 0.1, 0.2],
+                          mu_source=-0.6, e_window=(-1.8, -0.2),
+                          num_nodes=8)
+
+
+class TestProduction:
+    def test_points_sequential_and_complete(self, iv_result):
+        assert len(iv_result.points) == 3
+        assert [p.vds for p in iv_result.points] == [0.0, 0.1, 0.2]
+        assert all(p.scf_iterations >= 1 for p in iv_result.points)
+
+    def test_zero_bias_zero_current(self, iv_result):
+        assert iv_result.points[0].current == pytest.approx(0.0, abs=1e-15)
+
+    def test_current_grows_with_bias(self, iv_result):
+        i = [p.current for p in iv_result.points]
+        assert i[2] > i[1] > i[0]
+
+    def test_balancer_learned_across_points(self, iv_result):
+        assert iv_result.balancer is not None
+        assert len(iv_result.balancer.history) == 3
+        dist = iv_result.balancer.current_distribution()
+        assert dist.nodes_per_k.sum() == 8
+
+    def test_iv_table_renders(self, iv_result):
+        table = iv_result.iv_table()
+        assert "Vds" in table and "0.200" in table
+
+    def test_potential_flat_at_contacts(self, iv_result):
+        for p in iv_result.points:
+            assert p.potential[0] == 0.0
+            assert p.potential[-1] == 0.0
+
+    def test_empty_bias_rejected(self):
+        chain = linear_chain(6, 0.25)
+        with pytest.raises(ConfigurationError):
+            run_production(chain, single_s_basis(), 6, [], -0.5,
+                           (-1.5, -0.3))

@@ -1,0 +1,283 @@
+"""Tests for atomistic structure generators and slab partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.structure import (
+    SI_LATTICE_CONSTANT,
+    Structure,
+    assign_slabs,
+    diamond_conventional_cell,
+    dimer_chain,
+    linear_chain,
+    lithiated_sno_anode,
+    order_by_slab,
+    replicate,
+    silicon_nanowire,
+    silicon_utb_film,
+    slab_atom_counts,
+)
+from repro.structure.anode import lithiation_fraction, volume_expansion
+from repro.structure.nanowire import nanowire_atom_count_estimate
+from repro.structure.slabs import validate_slab_locality
+from repro.structure.utb import utb_atom_count_estimate
+from repro.utils.errors import ConfigurationError, ShapeError
+
+
+class TestStructureContainer:
+    def test_basic_properties(self):
+        s = linear_chain(5, 0.2)
+        assert s.num_atoms == 5
+        assert s.extent[0] == pytest.approx(0.8)
+        assert s.unique_species() == ["X"]
+
+    def test_shape_validation(self):
+        with pytest.raises(ShapeError):
+            Structure(np.zeros((3, 2)), np.array(["A"] * 3), np.eye(3))
+        with pytest.raises(ShapeError):
+            Structure(np.zeros((3, 3)), np.array(["A"] * 2), np.eye(3))
+        with pytest.raises(ShapeError):
+            Structure(np.zeros((3, 3)), np.array(["A"] * 3), np.eye(2))
+
+    def test_select_translate_concat(self):
+        s = linear_chain(4)
+        left = s.select(s.positions[:, 0] < 0.3)
+        assert left.num_atoms == 2
+        t = s.translated([1.0, 0, 0])
+        assert t.positions[0, 0] == pytest.approx(1.0)
+        both = left.concatenate(t)
+        assert both.num_atoms == 6
+
+    def test_neighbor_pairs_chain(self):
+        s = linear_chain(10, 0.25)
+        pairs, deltas = s.neighbor_pairs(0.26)
+        assert len(pairs) == 9  # nearest neighbours only
+        np.testing.assert_allclose(np.abs(deltas[:, 0]), 0.25)
+
+    def test_neighbor_pairs_wider_cutoff(self):
+        s = linear_chain(10, 0.25)
+        pairs, _ = s.neighbor_pairs(0.51)
+        assert len(pairs) == 9 + 8  # first and second neighbours
+
+    def test_neighbor_pairs_empty(self):
+        s = linear_chain(1)
+        pairs, deltas = s.neighbor_pairs(1.0)
+        assert pairs.shape == (0, 2)
+
+    def test_neighbor_pairs_match_bruteforce(self):
+        rng = np.random.default_rng(3)
+        pos = rng.uniform(0, 1.0, size=(40, 3))
+        s = Structure(pos, np.array(["A"] * 40), np.eye(3))
+        pairs, _ = s.neighbor_pairs(0.3)
+        got = {tuple(p) for p in pairs}
+        want = set()
+        for i in range(40):
+            for j in range(i + 1, 40):
+                if np.linalg.norm(pos[i] - pos[j]) <= 0.3:
+                    want.add((i, j))
+        assert got == want
+
+
+class TestDiamond:
+    def test_conventional_cell(self):
+        c = diamond_conventional_cell()
+        assert c.num_atoms == 8
+        assert np.all(c.periodic)
+
+    def test_replicate_counts(self):
+        s = replicate(diamond_conventional_cell(), 2, 3, 1)
+        assert s.num_atoms == 8 * 6
+        assert s.cell[0, 0] == pytest.approx(2 * SI_LATTICE_CONSTANT)
+
+    def test_replicate_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            replicate(diamond_conventional_cell(), 0, 1, 1)
+
+    def test_bond_lengths(self):
+        """Every diamond atom has 4 neighbours at sqrt(3)/4*a0 in bulk."""
+        s = replicate(diamond_conventional_cell(), 3, 3, 3)
+        a0 = SI_LATTICE_CONSTANT
+        pairs, deltas = s.neighbor_pairs(np.sqrt(3) / 4 * a0 * 1.05)
+        d = np.linalg.norm(deltas, axis=1)
+        np.testing.assert_allclose(d, np.sqrt(3) / 4 * a0, rtol=1e-10)
+
+
+class TestNanowire:
+    def test_periodic_cells_identical(self):
+        """Successive unit cells of the wire must be exact translates."""
+        a0 = SI_LATTICE_CONSTANT
+        w = silicon_nanowire(1.2, 4)
+        slabs = assign_slabs(w, 4)
+        ordered, _, sl = order_by_slab(w, slabs)
+        cells = [ordered.positions[sl == i] for i in range(4)]
+        counts = [len(c) for c in cells]
+        assert len(set(counts)) == 1, f"unequal cells: {counts}"
+        c0 = np.sort(cells[0], axis=0)
+        for i, c in enumerate(cells[1:], 1):
+            shifted = np.sort(c - [i * a0, 0, 0], axis=0)
+            np.testing.assert_allclose(shifted, c0, atol=1e-9)
+
+    def test_diameter_confines(self):
+        w = silicon_nanowire(1.0, 2)
+        yz = w.positions[:, 1:]
+        center = (yz.max(axis=0) + yz.min(axis=0)) / 2
+        r = np.linalg.norm(yz - center, axis=1)
+        assert r.max() <= 0.5 + 1e-9
+
+    def test_atom_count_grows_with_d_squared(self):
+        n1 = silicon_nanowire(1.0, 2).num_atoms
+        n2 = silicon_nanowire(2.0, 2).num_atoms
+        assert 2.5 < n2 / n1 < 6.0  # ~4x with surface corrections
+
+    def test_coordination_after_pruning(self):
+        w = silicon_nanowire(1.2, 3)
+        cutoff = np.sqrt(3) / 4 * SI_LATTICE_CONSTANT * 1.15
+        pairs, _ = w.neighbor_pairs(cutoff)
+        coord = np.zeros(w.num_atoms, int)
+        for i, j in pairs:
+            coord[i] += 1
+            coord[j] += 1
+        # interior atoms aside, even surface atoms must have >= 2 bonds
+        # except the x-boundary layer whose partner is a periodic image.
+        x = w.positions[:, 0]
+        inner = (x > 0.3) & (x < x.max() - 0.3)
+        assert np.all(coord[inner] >= 2)
+
+    def test_paper_scale_estimate(self):
+        """Paper: d=3.2 nm, L=104.3 nm wire has 55 488 atoms."""
+        est = nanowire_atom_count_estimate(3.2, 104.3)
+        assert 0.5 * 55488 < est < 1.5 * 55488
+
+    def test_invalid_args(self):
+        with pytest.raises(ConfigurationError):
+            silicon_nanowire(-1.0, 2)
+        with pytest.raises(ConfigurationError):
+            silicon_nanowire(1.0, 0)
+
+
+class TestUtb:
+    def test_thickness_confines(self):
+        f = silicon_utb_film(1.0, 2)
+        assert f.extent[1] <= 1.0 + 1e-9
+
+    def test_periodicity_flags(self):
+        f = silicon_utb_film(1.0, 2)
+        assert f.periodic.tolist() == [True, False, True]
+
+    def test_cells_identical_along_x(self):
+        a0 = SI_LATTICE_CONSTANT
+        f = silicon_utb_film(1.0, 3)
+        slabs = assign_slabs(f, 3)
+        ordered, _, sl = order_by_slab(f, slabs)
+        c0 = np.sort(ordered.positions[sl == 0], axis=0)
+        c1 = np.sort(ordered.positions[sl == 1] - [a0, 0, 0], axis=0)
+        np.testing.assert_allclose(c0, c1, atol=1e-9)
+
+    def test_paper_scale_estimate(self):
+        """Paper: tbody=5 nm, L=34.8 nm UTB with 10 240 atoms (per z width)."""
+        est = utb_atom_count_estimate(5.0, 34.8, 1.15)
+        assert 0.4 * 10240 < est < 2.5 * 10240
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            silicon_utb_film(0.0, 2)
+
+
+class TestChains:
+    def test_linear_chain_spacing(self):
+        s = linear_chain(3, 0.3)
+        np.testing.assert_allclose(np.diff(s.positions[:, 0]), 0.3)
+
+    def test_dimer_chain(self):
+        s = dimer_chain(3, 0.3, dimerization=0.1)
+        assert s.num_atoms == 6
+        assert s.unique_species() == ["A", "B"]
+
+    def test_dimer_rejects_large_dimerization(self):
+        with pytest.raises(ConfigurationError):
+            dimer_chain(2, dimerization=0.5)
+
+
+class TestAnode:
+    def test_lithiation_fraction(self):
+        assert lithiation_fraction(0.0) == 0.0
+        assert lithiation_fraction(199.0) == pytest.approx(1.0)
+
+    def test_volume_expansion_monotonic(self):
+        caps = [0, 250, 500, 750, 1000]
+        v = [volume_expansion(c) for c in caps]
+        assert all(b > a for a, b in zip(v, v[1:]))
+        assert v[-1] == pytest.approx(0.26 * 1000 / 199.0)
+
+    def test_anode_has_li_when_charged(self):
+        s = lithiated_sno_anode(1000.0, cells_x=4, cells_yz=2,
+                                contact_cells=1, seed=1)
+        assert "Li" in s.unique_species()
+        s0 = lithiated_sno_anode(0.0, cells_x=4, cells_yz=2,
+                                 contact_cells=1, seed=1)
+        assert "Li" not in s0.unique_species()
+
+    def test_li_concentrated_in_blockade(self):
+        s = lithiated_sno_anode(1000.0, cells_x=10, cells_yz=2, seed=2)
+        li = s.positions[s.species == "Li", 0]
+        lx = s.cell[0, 0]
+        assert np.all(li > 0.3 * lx) and np.all(li < 0.7 * lx)
+
+    def test_contacts_crystalline(self):
+        """Same seed, different disorder: contact cells must not move."""
+        s1 = lithiated_sno_anode(500.0, cells_x=6, cells_yz=2,
+                                 disorder=0.0, seed=3)
+        s2 = lithiated_sno_anode(500.0, cells_x=6, cells_yz=2,
+                                 disorder=0.05, seed=3)
+        a = s1.cell[0, 0] / 6
+        host = s1.species != "Li"
+        edge = (s1.positions[host, 0] < a - 1e-9)
+        p1 = s1.positions[host][edge]
+        p2 = s2.positions[host][edge]
+        np.testing.assert_allclose(p1, p2, atol=1e-12)
+
+    def test_reproducible(self):
+        s1 = lithiated_sno_anode(800.0, seed=7)
+        s2 = lithiated_sno_anode(800.0, seed=7)
+        np.testing.assert_array_equal(s1.positions, s2.positions)
+
+
+class TestSlabs:
+    def test_assign_counts(self):
+        s = linear_chain(8, 0.25)
+        idx = assign_slabs(s, 4)
+        np.testing.assert_array_equal(slab_atom_counts(idx, 4), [2, 2, 2, 2])
+
+    def test_order_stable(self):
+        s = linear_chain(6, 0.25)
+        idx = np.array([1, 0, 1, 0, 1, 0])
+        ordered, perm, sl = order_by_slab(s, idx)
+        np.testing.assert_array_equal(perm, [1, 3, 5, 0, 2, 4])
+        assert np.all(np.diff(sl) >= 0)
+
+    def test_locality_validation(self):
+        s = linear_chain(8, 0.25)
+        idx = assign_slabs(s, 4)
+        assert validate_slab_locality(s, idx, cutoff=0.26)
+        # With 8 slabs, 2nd-neighbour interactions would span 2 boundaries.
+        idx8 = assign_slabs(s, 8)
+        assert not validate_slab_locality(s, idx8, cutoff=0.51)
+
+    def test_invalid(self):
+        s = linear_chain(4)
+        with pytest.raises(ConfigurationError):
+            assign_slabs(s, 0)
+        with pytest.raises(ConfigurationError):
+            order_by_slab(s, np.zeros(3, dtype=int))
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 30), nslab=st.integers(1, 6))
+def test_property_every_atom_in_exactly_one_slab(n, nslab):
+    s = linear_chain(n, 0.25)
+    idx = assign_slabs(s, nslab)
+    assert idx.shape == (n,)
+    assert idx.min() >= 0 and idx.max() < nslab
+    assert slab_atom_counts(idx, nslab).sum() == n

@@ -1,0 +1,132 @@
+"""Tests for repro.utils: errors, timers, validation, RNG."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    ConfigurationError,
+    ConvergenceError,
+    ReproError,
+    ShapeError,
+    StageTimer,
+    Timer,
+    as_complex_array,
+    check_finite,
+    check_positive,
+    check_power_of_two,
+    check_square,
+    make_rng,
+)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(ConfigurationError, ReproError)
+        assert issubclass(ConvergenceError, ReproError)
+        assert issubclass(ShapeError, ReproError)
+        assert issubclass(ShapeError, ValueError)
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("no", iterations=7, residual=1e-3)
+        assert err.iterations == 7
+        assert err.residual == pytest.approx(1e-3)
+
+    def test_convergence_error_defaults(self):
+        err = ConvergenceError("no")
+        assert err.iterations == 0
+        assert np.isnan(err.residual)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.calls == 2
+        assert t.elapsed >= 0.02
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+        assert t.calls == 0
+
+
+class TestStageTimer:
+    def test_stage_accumulation_and_rows(self):
+        st = StageTimer()
+        with st.stage("P1"):
+            time.sleep(0.005)
+        with st.stage("P2"):
+            time.sleep(0.005)
+        with st.stage("P1"):
+            pass
+        assert set(st.stages) == {"P1", "P2"}
+        rows = st.as_rows()
+        assert [r[0] for r in rows] == ["P1", "P2"]
+        assert sum(r[2] for r in rows) == pytest.approx(1.0)
+        assert st.total == pytest.approx(sum(r[1] for r in rows))
+
+    def test_empty_total(self):
+        assert StageTimer().total == 0.0
+
+
+class TestValidation:
+    def test_check_square_ok(self):
+        a = check_square(np.eye(3))
+        assert a.shape == (3, 3)
+
+    @pytest.mark.parametrize("bad", [np.zeros(3), np.zeros((2, 3))])
+    def test_check_square_rejects(self, bad):
+        with pytest.raises(ShapeError):
+            check_square(bad)
+
+    def test_check_finite(self):
+        check_finite(np.ones(4))
+        with pytest.raises(ShapeError):
+            check_finite(np.array([1.0, np.nan]))
+        with pytest.raises(ShapeError):
+            check_finite(np.array([np.inf]))
+
+    def test_check_positive(self):
+        assert check_positive(2) == 2
+        with pytest.raises(ConfigurationError):
+            check_positive(0)
+        with pytest.raises(ConfigurationError):
+            check_positive(-1.5)
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024])
+    def test_power_of_two_accepts(self, n):
+        assert check_power_of_two(n) == n
+
+    @pytest.mark.parametrize("n", [0, 3, 6, -4, 12])
+    def test_power_of_two_rejects(self, n):
+        with pytest.raises(ConfigurationError):
+            check_power_of_two(n)
+
+    def test_as_complex(self):
+        a = as_complex_array([1.0, 2.0])
+        assert a.dtype == np.complex128
+        assert a.flags["C_CONTIGUOUS"]
+
+
+class TestRng:
+    def test_default_is_reproducible(self):
+        a = make_rng().standard_normal(5)
+        b = make_rng().standard_normal(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_explicit_seed_changes_stream(self):
+        a = make_rng(1).standard_normal(5)
+        b = make_rng(2).standard_normal(5)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(0)
+        assert make_rng(g) is g
