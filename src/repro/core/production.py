@@ -8,7 +8,10 @@ This driver runs that outer loop at laptop scale: for each bias point a
 self-consistent Schroedinger-Poisson solve, the Landauer current at the
 converged potential, and the dynamic load-balancer feedback that OMEN
 applies between iterations (recorded here from measured per-k wall
-times so the distribution logic runs on real data).
+times so the distribution logic runs on real data).  The sweep can
+checkpoint after every completed bias point and resume from a kill, and
+nodes the fault-tolerance layer quarantines are dropped from the
+balancer's pool.
 """
 
 from __future__ import annotations
@@ -22,7 +25,8 @@ from repro.core.runner import compute_spectrum
 from repro.hamiltonian import build_device
 from repro.parallel import DynamicLoadBalancer
 from repro.poisson.scf import schroedinger_poisson
-from repro.utils.errors import ConfigurationError
+from repro.runtime.checkpoint import as_store
+from repro.utils.errors import CheckpointError, ConfigurationError
 
 
 @dataclass
@@ -53,7 +57,9 @@ def run_production(structure, basis, num_cells: int, bias_points,
                    mu_source: float, e_window,
                    num_k: int = 1, num_nodes: int | None = None,
                    scf_kwargs: dict | None = None,
-                   temperature_k: float = 300.0) -> ProductionResult:
+                   temperature_k: float = 300.0,
+                   task_runner=None,
+                   checkpoint=None) -> ProductionResult:
     """Run the full multi-bias production simulation.
 
     Parameters
@@ -64,6 +70,14 @@ def run_production(structure, basis, num_cells: int, bias_points,
         balancer (None disables the balancing bookkeeping).
     scf_kwargs : forwarded to
         :func:`repro.poisson.scf.schroedinger_poisson`.
+    task_runner : forwarded to the SCF loop and the final transport
+        solve of each bias point; when it is a
+        :class:`repro.runtime.ResilientTaskRunner`, nodes its telemetry
+        quarantines are removed from the balancer's allocation.
+    checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
+        Persist the sweep after every completed bias point and resume
+        from it: completed points (and the balancer's learned work
+        model) are restored instead of re-computed.
 
     Notes
     -----
@@ -87,21 +101,28 @@ def run_production(structure, basis, num_cells: int, bias_points,
         balancer = DynamicLoadBalancer(
             num_nodes, [len(energies)] * num_k, smoothing=0.5)
 
-    points = []
-    for vds in bias_points:
+    store = as_store(checkpoint)
+    points = _restore_sweep(store, bias_points, balancer)
+
+    for vds in bias_points[len(points):]:
         scf = schroedinger_poisson(
             structure, basis, num_cells,
             mu_l=mu_source, mu_r=mu_source - vds,
-            e_window=e_window, num_k=num_k, **kwargs)
+            e_window=e_window, num_k=num_k, task_runner=task_runner,
+            **kwargs)
         spec = compute_spectrum(structure, basis, num_cells, energies,
                                 num_k=num_k, obc_method="dense",
                                 solver="rgf",
-                                potential=scf.potential_atom)
+                                potential=scf.potential_atom,
+                                task_runner=task_runner)
         current = spec.current(mu_source, mu_source - vds, temperature_k)
         points.append(BiasPoint(vds=vds, current=current,
                                 scf_iterations=scf.iterations,
                                 converged=scf.converged,
                                 potential=scf.potential_atom))
+        telemetry = getattr(task_runner, "telemetry", None)
+        if balancer is not None and telemetry is not None:
+            balancer.apply_telemetry(telemetry)
         if balancer is not None:
             # feed back a cost proxy per momentum: total solver work of
             # this bias point, split by k (uniform here; a production
@@ -109,4 +130,51 @@ def run_production(structure, basis, num_cells: int, bias_points,
             per_k = np.full(num_k, max(len(energies), 1), dtype=float)
             dist = balancer.current_distribution()
             balancer.record_iteration(per_k / dist.nodes_per_k)
+        if store is not None:
+            _save_sweep(store, points, balancer)
     return ProductionResult(points=points, balancer=balancer)
+
+
+def _save_sweep(store, points, balancer) -> None:
+    state = dict(
+        vds=[p.vds for p in points],
+        current=[p.current for p in points],
+        scf_iterations=[p.scf_iterations for p in points],
+        converged=[p.converged for p in points],
+        potentials=np.asarray([p.potential for p in points]))
+    if balancer is not None:
+        state["balancer_work"] = balancer._work
+        state["balancer_num_nodes"] = balancer.num_nodes
+        state["balancer_history"] = np.asarray(balancer.history)
+    store.save("production", **state)
+
+
+def _restore_sweep(store, bias_points, balancer) -> list:
+    """Rebuild completed bias points (and balancer state) from disk."""
+    if store is None or not store.exists():
+        return []
+    state = store.load("production")
+    done_vds = np.atleast_1d(state["vds"])
+    if len(done_vds) > len(bias_points) or \
+            not np.allclose(done_vds, bias_points[:len(done_vds)]):
+        raise CheckpointError(
+            f"checkpointed sweep {done_vds.tolist()} is not a prefix of "
+            f"the requested bias points {bias_points}")
+    points = [
+        BiasPoint(vds=float(v), current=float(i),
+                  scf_iterations=int(n), converged=bool(c),
+                  potential=np.asarray(p, dtype=float))
+        for v, i, n, c, p in zip(
+            done_vds, np.atleast_1d(state["current"]),
+            np.atleast_1d(state["scf_iterations"]),
+            np.atleast_1d(state["converged"]),
+            np.atleast_2d(state["potentials"]))]
+    if balancer is not None and "balancer_work" in state:
+        work = np.asarray(state["balancer_work"], dtype=float)
+        if work.shape == balancer._work.shape:
+            balancer._work = work
+            balancer.num_nodes = int(state["balancer_num_nodes"])
+            balancer.history = [np.asarray(h, dtype=float) for h in
+                                np.atleast_2d(state["balancer_history"])]
+            balancer._invalidate()
+    return points

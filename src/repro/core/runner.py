@@ -10,7 +10,7 @@ from repro.constants import LANDAUER_2E_OVER_H
 from repro.hamiltonian import build_device, transverse_k_grid
 from repro.negf import qtbm_energy_point
 from repro.negf.density import fermi
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, TaskExecutionError
 
 
 @dataclass
@@ -83,7 +83,14 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
     if task_runner is None:
         outputs = [t() for _, _, t in tasks]
     else:
-        outputs = task_runner([t for _, _, t in tasks])
+        try:
+            outputs = task_runner([t for _, _, t in tasks])
+        except TaskExecutionError as exc:
+            # translate the runner's flat task index back to the (k, E)
+            # identity so the caller knows which point to re-run
+            if 0 <= exc.task_index < len(tasks):
+                exc.kpoint_index, exc.energy_index, _ = tasks[exc.task_index]
+            raise
 
     trans = np.zeros((len(kgrid), energies.size))
     counts = np.zeros((len(kgrid), energies.size), dtype=int)

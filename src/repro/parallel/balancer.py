@@ -4,13 +4,16 @@
 different k points, a dynamical allocation of the number of nodes per
 momentum has been developed" — after each Schroedinger-Poisson iteration
 the measured per-k runtimes update the node allocation of the next one.
+Nodes quarantined by the fault-tolerance layer are removed from the pool
+and their work is re-spread over the survivors.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.parallel.topology import build_distribution
+from repro.parallel.topology import (allocate_nodes_to_momentum,
+                                     build_distribution, distribute_items)
 from repro.utils.errors import ConfigurationError
 
 
@@ -28,40 +31,91 @@ class DynamicLoadBalancer:
         # initial work estimate: energy-point counts
         self._work = np.asarray([max(n, 1) for n in self.energies_per_k],
                                 dtype=float)
+        #: smoothed work model after each recorded iteration (the vector
+        #: the next allocation is actually built from)
         self.history = []
+        #: nodes removed from the pool by the fault-tolerance layer
+        self.quarantined = []
+        self._dist = None
+
+    def _invalidate(self):
+        self._dist = None
 
     def current_distribution(self):
-        dist = build_distribution(self.num_nodes, self.energies_per_k,
-                                  self.nodes_per_solver)
-        # override the proportional target with the learned work vector
-        from repro.parallel.topology import (allocate_nodes_to_momentum,
-                                             distribute_items)
-        dist.nodes_per_k = allocate_nodes_to_momentum(
-            self.num_nodes, self._work, self.nodes_per_solver)
-        dist.energy_assignment = [
-            distribute_items(n_e, max(int(dist.nodes_per_k[ik]
-                                          // self.nodes_per_solver), 1))
-            for ik, n_e in enumerate(self.energies_per_k)]
-        return dist
+        """The allocation for the learned work model (cached until the
+        model or the node pool changes — one build per iteration, not
+        one per query)."""
+        if self._dist is None:
+            dist = build_distribution(self.num_nodes, self.energies_per_k,
+                                      self.nodes_per_solver)
+            # override the proportional target with the learned work vector
+            dist.nodes_per_k = allocate_nodes_to_momentum(
+                self.num_nodes, self._work, self.nodes_per_solver)
+            dist.energy_assignment = [
+                distribute_items(n_e, max(int(dist.nodes_per_k[ik]
+                                              // self.nodes_per_solver), 1))
+                for ik, n_e in enumerate(self.energies_per_k)]
+            self._dist = dist
+        return self._dist
 
     def record_iteration(self, measured_time_per_k):
         """Feed back measured per-k total times; updates the work model."""
         t = np.asarray(measured_time_per_k, dtype=float)
         if t.shape != self._work.shape:
             raise ConfigurationError("one timing per momentum required")
-        if np.any(t <= 0):
-            raise ConfigurationError("timings must be positive")
+        if np.any(~np.isfinite(t)) or np.any(t <= 0):
+            raise ConfigurationError("timings must be positive and finite")
         # Per-k work = time * nodes currently assigned (time shrinks when
         # more nodes work on the same k).
         dist = self.current_distribution()
         work = t * dist.nodes_per_k
         self._work = (self.smoothing * self._work
                       + (1.0 - self.smoothing) * work)
-        self.history.append(work)
+        self.history.append(self._work.copy())
+        self._invalidate()
         return self.current_distribution()
 
+    def quarantine_node(self, node) -> None:
+        """Remove one (permanently failed) node from the allocation pool.
+
+        The next :meth:`current_distribution` re-spreads the work over
+        the surviving nodes.  Raises if the pool would no longer host one
+        solver group per momentum.
+        """
+        node = str(node)
+        if node in self.quarantined:
+            return
+        survivors = self.num_nodes - 1
+        if survivors // self.nodes_per_solver < len(self.energies_per_k):
+            raise ConfigurationError(
+                f"cannot quarantine {node}: {survivors} nodes left for "
+                f"{len(self.energies_per_k)} momentum groups of "
+                f"{self.nodes_per_solver} node(s)")
+        self.quarantined.append(node)
+        self.num_nodes = survivors
+        self._invalidate()
+
+    def apply_telemetry(self, telemetry) -> list:
+        """Quarantine every node a runner's telemetry reports dead.
+
+        Returns the newly quarantined node names (idempotent across
+        repeated calls with the same telemetry).
+        """
+        fresh = sorted(set(telemetry.quarantined_nodes)
+                       - set(self.quarantined))
+        for node in fresh:
+            self.quarantine_node(node)
+        return fresh
+
     def predicted_iteration_time(self, work=None) -> float:
-        """Max over k of (work_k / nodes_k): the slowest group's time."""
+        """Max over k of (work_k / nodes_k): the slowest group's time.
+
+        Momenta with no nodes assigned (a transiently inconsistent
+        allocation during quarantining) are priced at one node instead
+        of dividing by zero — an inf here would poison the next
+        allocation's work model.
+        """
         dist = self.current_distribution()
+        nodes = np.maximum(dist.nodes_per_k, 1)
         w = self._work if work is None else np.asarray(work, dtype=float)
-        return float(np.max(w / dist.nodes_per_k))
+        return float(np.max(w / nodes))

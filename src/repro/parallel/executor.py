@@ -9,10 +9,11 @@ can reconstruct per-node activity.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.linalg.flops import current_ledger, device_scope, ledger_scope
-from repro.utils.errors import ConfigurationError
+from repro.utils.errors import ConfigurationError, TaskExecutionError
 
 
 class ThreadTaskRunner:
@@ -21,31 +22,59 @@ class ThreadTaskRunner:
     Each worker is a simulated node ``node{i}``; kernel flops executed by
     a worker are attributed to it.  Per-task wall-clock times are kept in
     :attr:`task_times` for the load-balancer feedback loop.
+
+    Parameters
+    ----------
+    fault_injector : :class:`repro.runtime.faults.FaultInjector`, optional
+        When set, each task is exposed to injected faults (attempt 0 —
+        this runner performs no retries; wrap it in a
+        :class:`repro.runtime.ResilientTaskRunner` for that).
+
+    Notes
+    -----
+    A raising task aborts the batch with a
+    :class:`~repro.utils.errors.TaskExecutionError` carrying the failed
+    task's index, and :attr:`task_times` is *always* republished — the
+    partial timings of the failed batch, never the stale timings of a
+    previous invocation (the balancer feedback loop reads them).
     """
 
-    def __init__(self, num_workers: int):
+    def __init__(self, num_workers: int, fault_injector=None):
         if num_workers < 1:
             raise ConfigurationError("num_workers must be >= 1")
         self.num_workers = num_workers
+        self.fault_injector = fault_injector
         self.task_times: list = []
 
     def __call__(self, tasks) -> list:
-        import time
-
         parent_ledger = current_ledger()
         times = [None] * len(tasks)
 
         def run(item):
             idx, task = item
-            worker = idx % self.num_workers
+            node = f"node{idx % self.num_workers}"
             with ledger_scope(parent_ledger):
-                with device_scope(f"node{worker}"):
+                with device_scope(node):
                     t0 = time.perf_counter()
-                    out = task()
+                    try:
+                        if self.fault_injector is not None:
+                            self.fault_injector.inject(idx, 0, node)
+                        out = task()
+                    except TaskExecutionError:
+                        # already indexed (e.g. by a resilient wrapper)
+                        times[idx] = time.perf_counter() - t0
+                        raise
+                    except Exception as exc:
+                        times[idx] = time.perf_counter() - t0
+                        raise TaskExecutionError(
+                            f"task {idx} failed on {node}: {exc}",
+                            task_index=idx, node=node) from exc
                     times[idx] = time.perf_counter() - t0
             return out
 
-        with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
-            results = list(pool.map(run, enumerate(tasks)))
-        self.task_times = times
+        try:
+            with ThreadPoolExecutor(max_workers=self.num_workers) as pool:
+                results = list(pool.map(run, enumerate(tasks)))
+        finally:
+            self.task_times = times
         return results

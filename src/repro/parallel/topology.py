@@ -80,14 +80,25 @@ class WorkloadDistribution:
         return sum(len(g) for groups in self.energy_assignment
                    for g in groups)
 
+    def group_times(self, time_per_point: float = 1.0) -> np.ndarray:
+        """Wall time of every solver group at a uniform per-point cost.
+
+        The machine model's unit of load imbalance: one entry per
+        (momentum, solver-group) pair, ``len(group) * time_per_point``.
+        """
+        return np.asarray([len(group) * time_per_point
+                           for ik in range(self.num_k)
+                           for group in self.energy_assignment[ik]],
+                          dtype=float)
+
     def imbalance(self, cost_per_point=None) -> float:
         """(max - mean) / mean of per-k-group runtime estimates."""
-        times = []
-        for ik in range(self.num_k):
-            for group in self.energy_assignment[ik]:
-                cost = len(group) if cost_per_point is None \
-                    else sum(cost_per_point[ik][e] for e in group)
-                times.append(cost)
+        if cost_per_point is None:
+            times = self.group_times()
+        else:
+            times = [sum(cost_per_point[ik][e] for e in group)
+                     for ik in range(self.num_k)
+                     for group in self.energy_assignment[ik]]
         times = np.asarray(times, dtype=float)
         if times.size == 0 or times.mean() == 0:
             return 0.0

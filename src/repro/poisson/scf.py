@@ -19,7 +19,9 @@ from repro.core.runner import compute_spectrum
 from repro.negf import atom_density, orbital_density
 from repro.poisson.fd import solve_poisson
 from repro.poisson.grid import PoissonGrid
-from repro.utils.errors import ConfigurationError, ConvergenceError
+from repro.runtime.checkpoint import as_store
+from repro.utils.errors import (CheckpointError, ConfigurationError,
+                                ConvergenceError)
 
 
 @dataclass
@@ -47,7 +49,9 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                          density_scale: float = 1.0,
                          obc_method: str = "dense", solver: str = "rgf",
                          num_k: int = 1,
-                         raise_on_divergence: bool = False) -> SCFResult:
+                         raise_on_divergence: bool = False,
+                         task_runner=None,
+                         checkpoint=None) -> SCFResult:
     """Run the self-consistent Schroedinger-Poisson loop.
 
     Parameters
@@ -61,6 +65,13 @@ def schroedinger_poisson(structure, basis, num_cells: int,
     density_scale : conversion from the solver's per-mode density to
         electrons (absorbs the energy-integration normalization).
     mixing : linear mixing weight of the new potential (0 < mixing <= 1).
+    task_runner : forwarded to :func:`repro.core.runner.compute_spectrum`
+        for each inner transport solve (e.g. a
+        :class:`repro.runtime.ResilientTaskRunner`).
+    checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
+        Persist the loop state after every completed iteration — one
+        (k, E) batch — and resume from it when the file already exists.
+        A resumed run reproduces the uninterrupted trajectory exactly.
 
     Notes
     -----
@@ -90,13 +101,31 @@ def schroedinger_poisson(structure, basis, num_cells: int,
     residuals = []
     spectrum = None
     dens_atoms = np.zeros(natoms)
-    for it in range(1, max_iter + 1):
+    store = as_store(checkpoint)
+    start_iter = 1
+    if store is not None and store.exists():
+        state = store.load("scf")
+        pot = np.asarray(state["potential"], dtype=float)
+        dens_atoms = np.asarray(state["density"], dtype=float)
+        residuals = [float(r) for r in np.atleast_1d(state["residuals"])]
+        if pot.shape != (natoms,):
+            raise CheckpointError(
+                f"checkpoint potential has {pot.shape[0]} atoms, "
+                f"structure has {natoms}")
+        if bool(state["converged"]):
+            return SCFResult(potential_atom=pot, density_atom=dens_atoms,
+                             residuals=residuals,
+                             iterations=int(state["iteration"]),
+                             converged=True, spectrum=None)
+        start_iter = int(state["iteration"]) + 1
+    for it in range(start_iter, max_iter + 1):
         # (i) transport at the current potential
         energies = _scf_energy_grid(structure, basis, num_cells, pot,
                                     e_window)
         spectrum = compute_spectrum(structure, basis, num_cells, energies,
                                     num_k=num_k, obc_method=obc_method,
-                                    solver=solver, potential=pot)
+                                    solver=solver, potential=pot,
+                                    task_runner=task_runner)
         # (ii) accumulate density (trapezoid over the energy grid)
         dev = None
         dens_orb = None
@@ -126,6 +155,11 @@ def schroedinger_poisson(structure, basis, num_cells: int,
         resid = float(np.max(np.abs(new_pot - pot)))
         residuals.append(resid)
         pot = (1.0 - mixing) * pot + mixing * new_pot
+        if store is not None:
+            store.save("scf", iteration=it, potential=pot,
+                       density=dens_atoms,
+                       residuals=np.asarray(residuals),
+                       converged=resid < tol)
         if resid < tol:
             return SCFResult(potential_atom=pot, density_atom=dens_atoms,
                              residuals=residuals, iterations=it,

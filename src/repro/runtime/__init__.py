@@ -1,0 +1,34 @@
+"""Fault-tolerant execution runtime for the simulated supercomputer.
+
+Three pieces, layered on top of :mod:`repro.parallel`:
+
+1. :class:`FaultInjector` — seeded, deterministic injection of transient
+   task faults, node deaths (transient or permanent), and stragglers,
+   keyed on ``(task_index, attempt)`` so the fault sequence is
+   independent of thread scheduling,
+2. :class:`ResilientTaskRunner` — per-task retry with exponential
+   backoff, soft timeouts, quarantine of permanently failed nodes, and
+   :class:`RunTelemetry` (retries, give-ups, wasted flops) recorded next
+   to the flop ledger,
+3. :class:`CheckpointStore` — atomic checkpoint/restart of the
+   Schroedinger-Poisson SCF loop and the production bias sweep, so a
+   killed allocation resumes from the last completed (k, E) batch.
+
+A protected run with faults injected produces results bit-identical to
+the fault-free run (retries re-execute deterministic pure tasks), which
+is the invariant the regression tests pin.
+"""
+
+from repro.runtime.checkpoint import CheckpointStore, as_store
+from repro.runtime.faults import FaultDecision, FaultInjector, FaultProfile
+from repro.runtime.resilience import ResilientTaskRunner, RunTelemetry
+
+__all__ = [
+    "CheckpointStore",
+    "as_store",
+    "FaultDecision",
+    "FaultInjector",
+    "FaultProfile",
+    "ResilientTaskRunner",
+    "RunTelemetry",
+]

@@ -1,0 +1,228 @@
+"""Resilient task execution: retry, backoff, timeout, quarantine.
+
+:class:`ResilientTaskRunner` wraps any ``task_runner(tasks) -> list``
+(``ThreadTaskRunner``, ``run_spmd`` adapters, or plain sequential
+execution) so that each (k, E) task survives transient failures: failed
+attempts are retried with exponential backoff on a fresh simulated node,
+permanently dead nodes are quarantined, and everything — retries,
+timeouts, wasted flops — is accounted in :class:`RunTelemetry` alongside
+the flop ledger, mirroring how OMEN's production runs log re-executed
+energy points.
+
+Failed attempts run under a scratch :class:`~repro.linalg.flops.FlopLedger`
+that is merged into the active ledger only on success, so the flop
+accounting of a faulty-but-protected run is *identical* to the fault-free
+run, and the discarded work shows up as ``wasted_flops`` instead.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.linalg.flops import FlopLedger, current_ledger, ledger_scope
+from repro.utils.errors import (ConfigurationError, NodeFailureError,
+                                TaskExecutionError, TaskTimeoutError)
+
+
+@dataclass
+class RunTelemetry:
+    """Structured failure/retry accounting of one resilient runner."""
+
+    tasks_submitted: int = 0
+    attempts: int = 0
+    retries: int = 0
+    giveups: int = 0
+    timeouts: int = 0
+    node_deaths: int = 0
+    failures_by_type: dict = field(
+        default_factory=lambda: defaultdict(int))
+    quarantined_nodes: set = field(default_factory=set)
+    wasted_flops: int = 0
+    wasted_time_s: float = 0.0
+    straggler_delay_s: float = 0.0
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False)
+
+    def record_attempt(self, retry: bool) -> None:
+        with self._lock:
+            self.attempts += 1
+            if retry:
+                self.retries += 1
+
+    def record_failure(self, exc: Exception, wasted_flops: int,
+                       wasted_time_s: float) -> None:
+        with self._lock:
+            self.failures_by_type[type(exc).__name__] += 1
+            self.wasted_flops += wasted_flops
+            self.wasted_time_s += wasted_time_s
+            if isinstance(exc, TaskTimeoutError):
+                self.timeouts += 1
+            if isinstance(exc, NodeFailureError):
+                self.node_deaths += 1
+                if exc.permanent:
+                    self.quarantined_nodes.add(exc.node)
+
+    def record_success(self, delay_s: float) -> None:
+        with self._lock:
+            self.straggler_delay_s += delay_s
+
+    def record_giveup(self) -> None:
+        with self._lock:
+            self.giveups += 1
+
+    @property
+    def total_failures(self) -> int:
+        with self._lock:
+            return sum(self.failures_by_type.values())
+
+    def summary(self) -> str:
+        rows = [
+            f"tasks       {self.tasks_submitted}",
+            f"attempts    {self.attempts}",
+            f"retries     {self.retries}",
+            f"failures    {self.total_failures} "
+            f"{dict(self.failures_by_type)}",
+            f"timeouts    {self.timeouts}",
+            f"node deaths {self.node_deaths} "
+            f"(quarantined: {sorted(self.quarantined_nodes) or '-'})",
+            f"give-ups    {self.giveups}",
+            f"wasted      {self.wasted_flops:.3g} flops, "
+            f"{self.wasted_time_s:.3g} s "
+            f"(+{self.straggler_delay_s:.3g} s straggling)",
+        ]
+        return "\n".join("  " + r for r in rows)
+
+
+class ResilientTaskRunner:
+    """Per-task retry + backoff + timeout around any task runner.
+
+    Parameters
+    ----------
+    task_runner : callable or None
+        The wrapped ``task_runner(tasks) -> list``; ``None`` executes
+        sequentially in-process.
+    max_retries : int
+        Extra attempts after the first (so a task runs at most
+        ``max_retries + 1`` times) before a
+        :class:`~repro.utils.errors.TaskExecutionError` gives up.
+    backoff_s, backoff_factor, backoff_cap_s :
+        Exponential backoff between attempts of one task:
+        ``min(backoff_s * backoff_factor**(attempt-1), backoff_cap_s)``
+        seconds.  ``backoff_s=0`` (default) disables sleeping, which is
+        what the simulated machine wants.
+    timeout_s : float, optional
+        Per-attempt wall-clock budget.  An attempt whose (real + injected
+        straggler) time exceeds it is discarded and retried; threads
+        cannot be interrupted, so the attempt runs to completion and its
+        flops are charged to ``wasted_flops``.
+    fault_injector : :class:`repro.runtime.faults.FaultInjector`, optional
+        Injected faults are applied per attempt; retries of a task move
+        it to the next simulated node, modelling rescheduling away from a
+        dead host.
+
+    Notes
+    -----
+    Retries re-execute the identical, side-effect-free task closure, so a
+    protected run returns results bit-identical to a fault-free run —
+    the property the determinism tests pin down.
+    """
+
+    def __init__(self, task_runner=None, *, max_retries: int = 3,
+                 backoff_s: float = 0.0, backoff_factor: float = 2.0,
+                 backoff_cap_s: float = 1.0, timeout_s: float | None = None,
+                 fault_injector=None, retry_on=(Exception,)):
+        if max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0")
+        if backoff_s < 0 or backoff_factor < 1 or backoff_cap_s < 0:
+            raise ConfigurationError(
+                "backoff_s/backoff_cap_s must be >= 0 and "
+                "backoff_factor >= 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ConfigurationError("timeout_s must be positive")
+        self.task_runner = task_runner
+        self.max_retries = int(max_retries)
+        self.backoff_s = float(backoff_s)
+        self.backoff_factor = float(backoff_factor)
+        self.backoff_cap_s = float(backoff_cap_s)
+        self.timeout_s = timeout_s
+        self.fault_injector = fault_injector
+        self.retry_on = retry_on
+        self.telemetry = RunTelemetry()
+
+    @property
+    def num_workers(self) -> int:
+        """Simulated node count behind the wrapped runner."""
+        return int(getattr(self.task_runner, "num_workers", 1))
+
+    @property
+    def task_times(self) -> list:
+        """Per-task times of the wrapped runner, when it records them."""
+        return getattr(self.task_runner, "task_times", [])
+
+    def __call__(self, tasks) -> list:
+        tasks = list(tasks)
+        with self.telemetry._lock:
+            self.telemetry.tasks_submitted += len(tasks)
+        guarded = [self._make_resilient(i, t) for i, t in enumerate(tasks)]
+        if self.task_runner is None:
+            return [g() for g in guarded]
+        return self.task_runner(guarded)
+
+    # -- internals ----------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> None:
+        if self.backoff_s <= 0:
+            return
+        time.sleep(min(self.backoff_s * self.backoff_factor
+                       ** (attempt - 1), self.backoff_cap_s))
+
+    def _make_resilient(self, index: int, task):
+        def run():
+            workers = max(self.num_workers, 1)
+            last_exc = None
+            node = f"node{index % workers}"
+            for attempt in range(self.max_retries + 1):
+                # reschedule retries onto the next node round-robin, so a
+                # permanently dead node does not eat every attempt
+                node = f"node{(index + attempt) % workers}"
+                if attempt:
+                    self._backoff(attempt)
+                self.telemetry.record_attempt(retry=attempt > 0)
+                target = current_ledger()
+                probe = FlopLedger()
+                t0 = time.perf_counter()
+                delay = 0.0
+                try:
+                    if self.fault_injector is not None:
+                        delay = self.fault_injector.inject(index, attempt,
+                                                           node)
+                    with ledger_scope(probe):
+                        out = task()
+                    elapsed = time.perf_counter() - t0 + delay
+                    if self.timeout_s is not None \
+                            and elapsed > self.timeout_s:
+                        raise TaskTimeoutError(
+                            f"task {index} attempt {attempt} took "
+                            f"{elapsed:.3g} s (budget {self.timeout_s} s)",
+                            elapsed_s=elapsed, timeout_s=self.timeout_s)
+                except self.retry_on as exc:
+                    if isinstance(exc, ConfigurationError):
+                        raise  # a programming error is never transient
+                    self.telemetry.record_failure(
+                        exc, probe.total_flops,
+                        time.perf_counter() - t0)
+                    last_exc = exc
+                    continue
+                target.merge(probe)
+                self.telemetry.record_success(delay)
+                return out
+            self.telemetry.record_giveup()
+            raise TaskExecutionError(
+                f"task {index} failed after {self.max_retries + 1} "
+                f"attempts (last on {node}): {last_exc}",
+                task_index=index, node=node,
+                attempts=self.max_retries + 1) from last_exc
+        return run

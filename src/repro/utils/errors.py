@@ -36,3 +36,60 @@ class ShapeError(ReproError, ValueError):
 
 class SingularMatrixError(ReproError):
     """A matrix that must be invertible is numerically singular."""
+
+
+class TaskExecutionError(ReproError):
+    """A (k, E) task failed inside a task runner.
+
+    Attributes
+    ----------
+    task_index : int
+        Position of the failed task in the submitted task list (-1 if
+        unknown).
+    node : str
+        Simulated node the task was running on when it failed.
+    attempts : int
+        Attempts made before giving up (1 for an unprotected runner).
+    kpoint_index, energy_index : int or None
+        Filled in by :func:`repro.core.runner.compute_spectrum`, which
+        knows the (k, E) identity behind a flat task index.
+    """
+
+    def __init__(self, message, task_index=-1, node="", attempts=1):
+        super().__init__(message)
+        self.task_index = int(task_index)
+        self.node = str(node)
+        self.attempts = int(attempts)
+        self.kpoint_index = None
+        self.energy_index = None
+
+
+class InjectedFaultError(ReproError):
+    """A transient fault raised by :class:`repro.runtime.FaultInjector`."""
+
+    def __init__(self, message, task_index=-1, node=""):
+        super().__init__(message)
+        self.task_index = int(task_index)
+        self.node = str(node)
+
+
+class NodeFailureError(InjectedFaultError):
+    """A simulated node died (transiently or permanently) under a task."""
+
+    def __init__(self, message, task_index=-1, node="", permanent=False):
+        super().__init__(message, task_index=task_index, node=node)
+        self.permanent = bool(permanent)
+
+
+class TaskTimeoutError(ReproError):
+    """A task exceeded the resilient runner's per-task time budget."""
+
+    def __init__(self, message, elapsed_s=float("nan"),
+                 timeout_s=float("nan")):
+        super().__init__(message)
+        self.elapsed_s = float(elapsed_s)
+        self.timeout_s = float(timeout_s)
+
+
+class CheckpointError(ReproError):
+    """A checkpoint file is missing, corrupt, or from a different run."""

@@ -1,0 +1,498 @@
+"""Tests for the fault-tolerance runtime: injection, retry, checkpoint."""
+
+import numpy as np
+import pytest
+
+from repro.core.production import run_production
+from repro.core.runner import compute_spectrum
+from repro.hardware import TITAN, SimulatedMachine
+from repro.linalg import gemm, ledger_scope
+from repro.parallel import DynamicLoadBalancer, ThreadTaskRunner
+from repro.poisson.scf import schroedinger_poisson
+from repro.runtime import (CheckpointStore, FaultInjector, FaultProfile,
+                           ResilientTaskRunner)
+from repro.structure import linear_chain
+from repro.utils.errors import (CheckpointError, ConfigurationError,
+                                InjectedFaultError, NodeFailureError,
+                                TaskExecutionError, TaskTimeoutError)
+from tests.test_hamiltonian import single_s_basis
+
+
+class TestFaultInjector:
+    def test_decisions_deterministic_across_instances(self):
+        a = FaultInjector(task_failure_prob=0.3, straggler_prob=0.2,
+                          node_death_prob=0.1, seed=7)
+        b = FaultInjector(task_failure_prob=0.3, straggler_prob=0.2,
+                          node_death_prob=0.1, seed=7)
+        for task in range(20):
+            for attempt in range(4):
+                assert a.decision(task, attempt) == b.decision(task,
+                                                               attempt)
+
+    def test_decisions_independent_of_call_order(self):
+        inj = FaultInjector(task_failure_prob=0.5, seed=3)
+        first = inj.decision(5, 0)
+        for task in (9, 1, 5, 2):
+            inj.decision(task, 1)
+        assert inj.decision(5, 0) == first
+
+    def test_different_seeds_differ(self):
+        grid = [(t, a) for t in range(40) for a in range(2)]
+        a = FaultInjector(task_failure_prob=0.5, seed=1)
+        b = FaultInjector(task_failure_prob=0.5, seed=2)
+        assert any(a.decision(t, at).fail_task != b.decision(t, at).fail_task
+                   for t, at in grid)
+
+    def test_zero_probabilities_inject_nothing(self):
+        inj = FaultInjector()
+        for task in range(10):
+            assert inj.inject(task, 0, "node0") == 0.0
+        assert inj.stats == {}
+
+    def test_certain_failure_raises(self):
+        inj = FaultInjector(task_failure_prob=1.0)
+        with pytest.raises(InjectedFaultError) as err:
+            inj.inject(4, 0, "node1")
+        assert err.value.task_index == 4
+        assert err.value.node == "node1"
+
+    def test_permanent_death_quarantines(self):
+        inj = FaultInjector(node_death_prob=1.0,
+                            permanent_death_fraction=1.0)
+        with pytest.raises(NodeFailureError) as err:
+            inj.inject(0, 0, "node2")
+        assert err.value.permanent
+        assert inj.quarantined_nodes() == ["node2"]
+        assert not inj.node_alive("node2")
+        # any further attempt on the dead node fails immediately
+        with pytest.raises(NodeFailureError):
+            inj.inject(9, 1, "node2")
+        assert inj.stats["quarantine_hits"] == 1
+
+    def test_transient_death_does_not_quarantine(self):
+        inj = FaultInjector(node_death_prob=1.0,
+                            permanent_death_fraction=0.0)
+        with pytest.raises(NodeFailureError) as err:
+            inj.inject(0, 0, "node1")
+        assert not err.value.permanent
+        assert inj.quarantined_nodes() == []
+
+    def test_straggler_delay_returned(self):
+        inj = FaultInjector(straggler_prob=1.0, straggler_delay_s=0.25)
+        assert inj.inject(0, 0) == 0.25
+        assert inj.stats["stragglers"] == 1
+
+    def test_expected_attempts(self):
+        assert FaultInjector().expected_attempts() == 1.0
+        inj = FaultInjector(task_failure_prob=0.5)
+        assert inj.expected_attempts() == pytest.approx(2.0)
+        assert np.isinf(
+            FaultInjector(task_failure_prob=1.0).expected_attempts())
+
+    def test_profile_validation(self):
+        with pytest.raises(ConfigurationError):
+            FaultProfile(task_failure_prob=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultProfile(straggler_delay_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            FaultInjector(FaultProfile(), task_failure_prob=0.5)
+
+
+class TestExecutorRegression:
+    """The stale-state bugs of ThreadTaskRunner.__call__."""
+
+    def test_failure_reports_task_index(self):
+        runner = ThreadTaskRunner(2)
+
+        def boom():
+            raise ValueError("broken hardware")
+
+        tasks = [lambda: 1, lambda: 2, boom, lambda: 4]
+        with pytest.raises(TaskExecutionError) as err:
+            runner(tasks)
+        assert err.value.task_index == 2
+        assert err.value.node == "node0"
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_task_times_never_stale_after_failure(self):
+        """Regression: a raising task used to leave task_times from the
+        *previous* invocation, feeding old timings to the balancer."""
+        runner = ThreadTaskRunner(2)
+        runner([lambda: 0] * 5)
+        stale = list(runner.task_times)
+        assert len(stale) == 5
+
+        def boom():
+            raise RuntimeError("nope")
+
+        with pytest.raises(TaskExecutionError):
+            runner([lambda: 1, boom, lambda: 3])
+        assert len(runner.task_times) == 3      # fresh, not the stale 5
+        assert runner.task_times[0] is not None
+        assert runner.task_times[1] is not None  # failed task is timed too
+
+    def test_injector_wiring(self):
+        inj = FaultInjector(task_failure_prob=1.0)
+        runner = ThreadTaskRunner(2, fault_injector=inj)
+        with pytest.raises(TaskExecutionError) as err:
+            runner([lambda: 1])
+        assert isinstance(err.value.__cause__, InjectedFaultError)
+
+
+class TestBalancerRegression:
+    def test_history_records_smoothed_model(self):
+        """Regression: history used to hold the raw per-iteration work,
+        not the smoothed model the allocation is built from."""
+        bal = DynamicLoadBalancer(8, [10, 10], smoothing=0.5)
+        dist = bal.current_distribution()
+        measured = [2.0, 6.0]
+        raw = np.asarray(measured) * dist.nodes_per_k
+        expected = 0.5 * np.array([10.0, 10.0]) + 0.5 * raw
+        bal.record_iteration(measured)
+        np.testing.assert_allclose(bal.history[0], expected)
+        np.testing.assert_allclose(bal.history[0], bal._work)
+
+    def test_distribution_cached_until_model_changes(self):
+        """Regression: record_iteration rebuilt the distribution twice
+        per call; it is now cached per work-model state."""
+        bal = DynamicLoadBalancer(8, [10, 10])
+        d0 = bal.current_distribution()
+        assert bal.current_distribution() is d0
+        bal.record_iteration([1.0, 3.0])
+        assert bal.current_distribution() is not d0
+
+    def test_predicted_time_guards_zero_nodes(self):
+        """Regression: a zero entry in nodes_per_k divided to inf."""
+        bal = DynamicLoadBalancer(4, [10, 10])
+        dist = bal.current_distribution()
+        dist.nodes_per_k = np.array([0, 4])  # simulate a drained group
+        assert np.isfinite(bal.predicted_iteration_time())
+
+    def test_nonfinite_timings_rejected(self):
+        bal = DynamicLoadBalancer(4, [10, 10])
+        with pytest.raises(ConfigurationError):
+            bal.record_iteration([1.0, np.inf])
+        with pytest.raises(ConfigurationError):
+            bal.record_iteration([np.nan, 1.0])
+
+    def test_quarantine_shrinks_pool_and_respreads(self):
+        bal = DynamicLoadBalancer(8, [10, 10])
+        bal.quarantine_node("node3")
+        bal.quarantine_node("node3")  # idempotent
+        assert bal.num_nodes == 7
+        assert bal.quarantined == ["node3"]
+        assert bal.current_distribution().nodes_per_k.sum() == 7
+
+    def test_quarantine_refuses_to_starve_groups(self):
+        bal = DynamicLoadBalancer(2, [10, 10])
+        with pytest.raises(ConfigurationError):
+            bal.quarantine_node("node0")
+
+
+class TestResilientRunner:
+    def test_no_faults_passthrough(self):
+        runner = ResilientTaskRunner(ThreadTaskRunner(2))
+        out = runner([lambda i=i: i * i for i in range(6)])
+        assert out == [i * i for i in range(6)]
+        t = runner.telemetry
+        assert t.tasks_submitted == 6
+        assert t.attempts == 6
+        assert t.retries == 0 and t.giveups == 0
+        assert len(runner.task_times) == 6
+
+    def test_sequential_fallback(self):
+        runner = ResilientTaskRunner(max_retries=0)
+        assert runner([lambda: 42]) == [42]
+
+    def test_retries_recover_transient_faults(self):
+        inj = FaultInjector(task_failure_prob=0.4, seed=11)
+        runner = ResilientTaskRunner(ThreadTaskRunner(2), max_retries=5,
+                                     fault_injector=inj)
+        out = runner([lambda i=i: i for i in range(20)])
+        assert out == list(range(20))
+        assert runner.telemetry.retries > 0
+        assert runner.telemetry.giveups == 0
+
+    def test_retry_sequence_deterministic(self):
+        def attempts_with_seed():
+            inj = FaultInjector(task_failure_prob=0.4, seed=11)
+            runner = ResilientTaskRunner(ThreadTaskRunner(3),
+                                         max_retries=6,
+                                         fault_injector=inj)
+            runner([lambda i=i: i for i in range(25)])
+            return (runner.telemetry.attempts, runner.telemetry.retries,
+                    dict(runner.telemetry.failures_by_type))
+
+        assert attempts_with_seed() == attempts_with_seed()
+
+    def test_giveup_raises_indexed_error(self):
+        def boom():
+            raise RuntimeError("always broken")
+
+        runner = ResilientTaskRunner(ThreadTaskRunner(2), max_retries=2)
+        with pytest.raises(TaskExecutionError) as err:
+            runner([lambda: 0, boom])
+        assert err.value.task_index == 1
+        assert err.value.attempts == 3
+        assert runner.telemetry.giveups == 1
+        assert runner.telemetry.failures_by_type["RuntimeError"] == 3
+
+    def test_configuration_errors_not_retried(self):
+        calls = []
+
+        def bad():
+            calls.append(1)
+            raise ConfigurationError("user error, not hardware")
+
+        runner = ResilientTaskRunner(max_retries=5)
+        with pytest.raises(ConfigurationError):
+            runner([bad])
+        assert len(calls) == 1
+
+    def test_timeout_from_injected_straggler(self):
+        inj = FaultInjector(straggler_prob=1.0, straggler_delay_s=10.0)
+        runner = ResilientTaskRunner(ThreadTaskRunner(1), max_retries=1,
+                                     timeout_s=1.0, fault_injector=inj)
+        with pytest.raises(TaskExecutionError) as err:
+            runner([lambda: 0])
+        assert isinstance(err.value.__cause__, TaskTimeoutError)
+        assert runner.telemetry.timeouts == 2
+
+    def test_wasted_flops_excluded_from_ledger(self):
+        """Failed attempts burn flops into telemetry, not the ledger —
+        a protected faulty run accounts exactly like a fault-free one."""
+        a = np.eye(16)
+        fails = {"left": 2}
+
+        def flaky():
+            out = gemm(a, a)
+            if fails["left"] > 0:
+                fails["left"] -= 1
+                raise RuntimeError("transient")
+            return out
+
+        with ledger_scope() as clean:
+            gemm(a, a)
+        runner = ResilientTaskRunner(max_retries=4)
+        with ledger_scope() as led:
+            runner([flaky])
+        assert led.total_flops == clean.total_flops
+        assert runner.telemetry.wasted_flops == 2 * clean.total_flops
+
+    def test_permanent_death_quarantine_flows_to_balancer(self):
+        inj = FaultInjector(node_death_prob=0.35,
+                            permanent_death_fraction=1.0, seed=5)
+        runner = ResilientTaskRunner(ThreadTaskRunner(4), max_retries=6,
+                                     fault_injector=inj)
+        out = runner([lambda i=i: i for i in range(12)])
+        assert out == list(range(12))
+        dead = runner.telemetry.quarantined_nodes
+        assert dead  # p=0.35 over 12 tasks kills at least one node
+        bal = DynamicLoadBalancer(16, [10, 10])
+        fresh = bal.apply_telemetry(runner.telemetry)
+        assert fresh == sorted(dead)
+        assert bal.num_nodes == 16 - len(dead)
+        assert bal.apply_telemetry(runner.telemetry) == []
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            ResilientTaskRunner(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            ResilientTaskRunner(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            ResilientTaskRunner(backoff_factor=0.5)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    return linear_chain(10, 0.25)
+
+
+class TestSpectrumUnderFaults:
+    def test_faulty_run_identical_to_fault_free(self, chain):
+        """The acceptance invariant: 20% transient task failures with a
+        fixed seed reproduce the fault-free spectrum exactly."""
+        energies = [0.0, 0.1, 0.2, 0.3]
+        clean = compute_spectrum(chain, single_s_basis(), 10, energies,
+                                 obc_method="dense", solver="rgf")
+        inj = FaultInjector(task_failure_prob=0.2, seed=42)
+        runner = ResilientTaskRunner(ThreadTaskRunner(2), max_retries=5,
+                                     fault_injector=inj)
+        faulty = compute_spectrum(chain, single_s_basis(), 10, energies,
+                                  obc_method="dense", solver="rgf",
+                                  task_runner=runner)
+        np.testing.assert_array_equal(faulty.transmission,
+                                      clean.transmission)
+        np.testing.assert_array_equal(faulty.mode_counts,
+                                      clean.mode_counts)
+        assert runner.telemetry.attempts >= len(energies)
+
+    def test_scf_identical_under_faults(self):
+        """schroedinger_poisson completes under 20% injected failures
+        and reproduces the fault-free result exactly."""
+        chain8 = linear_chain(8, 0.25)
+        args = dict(SCF_ARGS, tol=1e-3, max_iter=6)
+        clean = schroedinger_poisson(chain8, single_s_basis(), 8, **args)
+        inj = FaultInjector(task_failure_prob=0.2, seed=42)
+        runner = ResilientTaskRunner(ThreadTaskRunner(2), max_retries=5,
+                                     fault_injector=inj)
+        faulty = schroedinger_poisson(chain8, single_s_basis(), 8,
+                                      task_runner=runner, **args)
+        np.testing.assert_array_equal(faulty.potential_atom,
+                                      clean.potential_atom)
+        np.testing.assert_array_equal(faulty.residuals, clean.residuals)
+        assert runner.telemetry.retries > 0
+
+    def test_failure_annotated_with_k_and_energy(self, chain):
+        inj = FaultInjector(task_failure_prob=1.0)
+        runner = ThreadTaskRunner(2, fault_injector=inj)
+        with pytest.raises(TaskExecutionError) as err:
+            compute_spectrum(chain, single_s_basis(), 10, [0.1, 0.2],
+                             obc_method="dense", solver="rgf",
+                             task_runner=runner)
+        assert err.value.kpoint_index == 0
+        assert err.value.energy_index in (0, 1)
+
+
+class TestCheckpointStore:
+    def test_round_trip_types(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.npz")
+        store.save("scf", iteration=3, converged=False,
+                   potential=np.arange(4.0), residuals=[0.5, 0.25])
+        state = store.load("scf")
+        assert state["iteration"] == 3
+        assert state["converged"] is False
+        np.testing.assert_array_equal(state["potential"], np.arange(4.0))
+        np.testing.assert_allclose(state["residuals"], [0.5, 0.25])
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.npz")
+        store.save("scf", iteration=1)
+        with pytest.raises(CheckpointError):
+            store.load("production")
+
+    def test_missing_and_cleared(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.npz")
+        assert not store.exists()
+        with pytest.raises(CheckpointError):
+            store.load()
+        store.save("x", a=1)
+        store.clear()
+        assert not store.exists()
+
+    def test_object_payload_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.npz")
+        with pytest.raises(CheckpointError):
+            store.save("scf", bad={"a": 1})
+
+    def test_save_is_atomic_overwrite(self, tmp_path):
+        store = CheckpointStore(tmp_path / "state.npz")
+        store.save("scf", iteration=1)
+        store.save("scf", iteration=2)
+        assert store.load("scf")["iteration"] == 2
+        assert not (tmp_path / "state.npz.tmp").exists()
+
+
+SCF_ARGS = dict(mu_l=-0.5, mu_r=-0.5, e_window=(-1.5, 0.0), mixing=0.3,
+                tol=1e-12, density_scale=0.05)
+
+
+class TestScfCheckpoint:
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path):
+        chain = linear_chain(8, 0.25)
+        straight = schroedinger_poisson(chain, single_s_basis(), 8,
+                                        max_iter=4, **SCF_ARGS)
+        ckpt = tmp_path / "scf.npz"
+        # "crash" after two iterations, then resume to four
+        schroedinger_poisson(chain, single_s_basis(), 8, max_iter=2,
+                             checkpoint=ckpt, **SCF_ARGS)
+        resumed = schroedinger_poisson(chain, single_s_basis(), 8,
+                                       max_iter=4, checkpoint=ckpt,
+                                       **SCF_ARGS)
+        np.testing.assert_array_equal(resumed.potential_atom,
+                                      straight.potential_atom)
+        np.testing.assert_array_equal(resumed.density_atom,
+                                      straight.density_atom)
+        np.testing.assert_array_equal(resumed.residuals,
+                                      straight.residuals)
+        assert resumed.iterations == straight.iterations
+
+    def test_converged_checkpoint_short_circuits(self, tmp_path):
+        chain = linear_chain(8, 0.25)
+        ckpt = tmp_path / "scf.npz"
+        args = dict(SCF_ARGS, tol=1e-3)
+        done = schroedinger_poisson(chain, single_s_basis(), 8,
+                                    max_iter=20, checkpoint=ckpt, **args)
+        assert done.converged
+        again = schroedinger_poisson(chain, single_s_basis(), 8,
+                                     max_iter=20, checkpoint=ckpt, **args)
+        assert again.converged
+        assert again.iterations == done.iterations
+        np.testing.assert_array_equal(again.potential_atom,
+                                      done.potential_atom)
+
+    def test_wrong_structure_rejected(self, tmp_path):
+        ckpt = tmp_path / "scf.npz"
+        schroedinger_poisson(linear_chain(8, 0.25), single_s_basis(), 8,
+                             max_iter=1, checkpoint=ckpt, **SCF_ARGS)
+        with pytest.raises(CheckpointError):
+            schroedinger_poisson(linear_chain(6, 0.25), single_s_basis(),
+                                 6, max_iter=2, checkpoint=ckpt,
+                                 **SCF_ARGS)
+
+
+class TestProductionCheckpoint:
+    def test_resume_matches_straight_sweep(self, tmp_path):
+        chain = linear_chain(8, 0.25)
+        common = dict(mu_source=-0.6, e_window=(-1.8, -0.2), num_nodes=8)
+        straight = run_production(chain, single_s_basis(), 8,
+                                  bias_points=[0.0, 0.1], **common)
+        ckpt = tmp_path / "sweep.npz"
+        # first point completes, then the allocation dies
+        run_production(chain, single_s_basis(), 8, bias_points=[0.0],
+                       checkpoint=ckpt, **common)
+        resumed = run_production(chain, single_s_basis(), 8,
+                                 bias_points=[0.0, 0.1],
+                                 checkpoint=ckpt, **common)
+        assert len(resumed.points) == 2
+        for got, want in zip(resumed.points, straight.points):
+            assert got.vds == want.vds
+            assert got.current == want.current
+            assert got.scf_iterations == want.scf_iterations
+        np.testing.assert_allclose(resumed.balancer._work,
+                                   straight.balancer._work)
+        assert len(resumed.balancer.history) == 2
+
+    def test_mismatched_sweep_rejected(self, tmp_path):
+        chain = linear_chain(8, 0.25)
+        ckpt = tmp_path / "sweep.npz"
+        run_production(chain, single_s_basis(), 8, bias_points=[0.1],
+                       mu_source=-0.6, e_window=(-1.8, -0.2),
+                       checkpoint=ckpt)
+        with pytest.raises(CheckpointError):
+            run_production(chain, single_s_basis(), 8,
+                           bias_points=[0.2, 0.3], mu_source=-0.6,
+                           e_window=(-1.8, -0.2), checkpoint=ckpt)
+
+
+class TestMachineUnderFaults:
+    def test_faulty_estimate_prices_retries_and_quarantine(self):
+        machine = SimulatedMachine(TITAN.subset(64))
+        e_per_k = [100] * 3
+        clean = machine.run_iteration(e_per_k, 1e12, 1e10)
+        inj = FaultInjector(task_failure_prob=0.2)
+        inj.kill_node("node7")
+        inj.kill_node("node13")
+        faulty = machine.run_iteration(e_per_k, 1e12, 1e10,
+                                       fault_injector=inj)
+        assert faulty.num_nodes == 62
+        assert faulty.wall_time_s > clean.wall_time_s
+        assert faulty.wasted_flops == pytest.approx(
+            faulty.total_flops * 0.25)  # 1/(1-0.2) - 1
+        assert clean.wasted_flops == 0.0
+
+    def test_always_failing_profile_rejected(self):
+        machine = SimulatedMachine(TITAN.subset(16))
+        inj = FaultInjector(task_failure_prob=1.0)
+        with pytest.raises(ConfigurationError):
+            machine.run_iteration([10], 1e12, 1e10, fault_injector=inj)
