@@ -9,6 +9,8 @@ Section 5C time-to-solution — each next to the paper's published values.
 Run:  python examples/scaling_study.py
 """
 
+import numpy as np
+
 from repro.experiments import (
     fig7_splitsolve_scaling,
     fig11_scaling_tables,
@@ -18,11 +20,47 @@ from repro.experiments import (
 )
 
 
+def telemetry_section():
+    """A small fault-protected (k, E) run with full stage telemetry.
+
+    Exercises the production wiring end to end: staged pipeline traces,
+    resilient retries, and the measured per-k costs the dynamic load
+    balancer consumes.
+    """
+    from repro.basis import tight_binding_set
+    from repro.core.energygrid import lead_band_structure
+    from repro.core.runner import compute_spectrum
+    from repro.hamiltonian import build_device
+    from repro.parallel import ThreadTaskRunner
+    from repro.runtime import ResilientTaskRunner
+    from repro.structure import silicon_nanowire
+
+    wire = silicon_nanowire(diameter_nm=1.0, length_cells=4)
+    lead = build_device(wire, tight_binding_set(), num_cells=4).lead
+    _, bands = lead_band_structure(lead, 11)
+    e_lo = float(bands.min())
+    energies = np.linspace(e_lo + 0.1, e_lo + 1.2, 6)
+
+    runner = ResilientTaskRunner(ThreadTaskRunner(num_workers=2),
+                                 max_retries=1)
+    spec = compute_spectrum(wire, tight_binding_set(), 4, energies,
+                            obc_method="dense", solver="rgf",
+                            task_runner=runner)
+    lines = ["Run telemetry — staged (k, E) pipeline under the resilient "
+             "runner"]
+    lines.append(runner.telemetry.summary())
+    per_k = spec.measured_time_per_k()
+    lines.append("  measured time per k-point (load-balancer input): "
+                 + ", ".join(f"{t * 1e3:.1f} ms" for t in per_k))
+    return "\n".join(lines)
+
+
 def main():
     for mod in (table1_machines, fig11_scaling_tables,
                 fig7_splitsolve_scaling, fig12_power, time_to_solution):
         print(mod.report(mod.run()))
         print()
+    print(telemetry_section())
 
 
 if __name__ == "__main__":

@@ -43,8 +43,19 @@ def main(argv=None) -> int:
         t0 = time.perf_counter()
         results = mod.run()
         print(mod.report(results))
+        _report_telemetry(results)
         print(f"[{name}: {time.perf_counter() - t0:.1f} s]\n")
     return 0
+
+
+def _report_telemetry(results) -> None:
+    """Print the RunTelemetry of an experiment that collected one."""
+    telemetry = results.get("telemetry") if isinstance(results, dict) \
+        else getattr(results, "telemetry", None)
+    if telemetry is None or not hasattr(telemetry, "summary"):
+        return
+    print("run telemetry (retries / wasted flops / stage breakdown):")
+    print(telemetry.summary())
 
 
 if __name__ == "__main__":

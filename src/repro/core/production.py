@@ -124,12 +124,13 @@ def run_production(structure, basis, num_cells: int, bias_points,
         if balancer is not None and telemetry is not None:
             balancer.apply_telemetry(telemetry)
         if balancer is not None:
-            # feed back a cost proxy per momentum: total solver work of
-            # this bias point, split by k (uniform here; a production
-            # machine feeds real timings)
-            per_k = np.full(num_k, max(len(energies), 1), dtype=float)
-            dist = balancer.current_distribution()
-            balancer.record_iteration(per_k / dist.nodes_per_k)
+            # feed back the *measured* per-k wall times of this bias
+            # point's transport solve (stage traces), falling back to the
+            # energy-count proxy only if no traces were produced
+            if balancer.record_task_traces(spec.traces) is None:
+                per_k = np.full(num_k, max(len(energies), 1), dtype=float)
+                dist = balancer.current_distribution()
+                balancer.record_iteration(per_k / dist.nodes_per_k)
         if store is not None:
             _save_sweep(store, points, balancer)
     return ProductionResult(points=points, balancer=balancer)

@@ -8,8 +8,8 @@ import numpy as np
 
 from repro.constants import LANDAUER_2E_OVER_H
 from repro.hamiltonian import build_device, transverse_k_grid
-from repro.negf import qtbm_energy_point
 from repro.negf.density import fermi
+from repro.pipeline import TransportPipeline
 from repro.utils.errors import ConfigurationError, TaskExecutionError
 
 
@@ -22,6 +22,10 @@ class TransportSpectrum:
     transmission: np.ndarray          # (nk, nE) left->right
     mode_counts: np.ndarray           # (nk, nE) propagating channels
     results: list = field(repr=False, default_factory=list)
+    #: per-task pipeline TaskTraces, one per (k, E) point
+    traces: list = field(repr=False, default_factory=list)
+    #: the task runner's RunTelemetry, when it exposes one
+    telemetry: object = field(repr=False, default=None)
 
     def k_averaged_transmission(self) -> np.ndarray:
         """Momentum-integrated T(E) = sum_k w_k T(E, k)."""
@@ -34,6 +38,19 @@ class TransportSpectrum:
         return landauer_current(self.energies,
                                 self.k_averaged_transmission(),
                                 mu_l, mu_r, temperature_k)
+
+    def measured_time_per_k(self) -> np.ndarray:
+        """Measured wall time per k-point, summed from the stage traces.
+
+        This is what the dynamic load balancer consumes: the real cost of
+        each momentum point, not a uniform proxy.
+        """
+        num_k = len(self.kpoints)
+        out = np.zeros(num_k, dtype=float)
+        for tr in self.traces:
+            if tr is not None and 0 <= tr.kpoint_index < num_k:
+                out[tr.kpoint_index] += tr.total_seconds
+        return out
 
 
 def compute_spectrum(structure, basis, num_cells: int, energies,
@@ -67,18 +84,20 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         raise ConfigurationError("need at least one energy")
     kgrid = transverse_k_grid(num_k)
 
-    devices = []
+    pipe = TransportPipeline(obc_method=obc_method, solver=solver,
+                             num_partitions=num_partitions,
+                             obc_kwargs=obc_kwargs)
+    caches = []
     for kz, _w in kgrid:
         dev = build_device(structure, basis, num_cells, kpoint=(0.0, kz))
         if potential is not None:
             dev = dev.with_potential(potential)
-        devices.append(dev)
+        caches.append(pipe.cache(dev))
 
     tasks = []
-    for ik, dev in enumerate(devices):
+    for ik, cache in enumerate(caches):
         for ie, e in enumerate(energies):
-            tasks.append((ik, ie, _make_task(dev, e, obc_method, solver,
-                                             num_partitions, obc_kwargs)))
+            tasks.append((ik, ie, _make_task(pipe, cache, e, ik, ie)))
 
     if task_runner is None:
         outputs = [t() for _, _, t in tasks]
@@ -92,24 +111,29 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                 exc.kpoint_index, exc.energy_index, _ = tasks[exc.task_index]
             raise
 
+    telemetry = getattr(task_runner, "telemetry", None)
     trans = np.zeros((len(kgrid), energies.size))
     counts = np.zeros((len(kgrid), energies.size), dtype=int)
     results = []
+    traces = []
     for (ik, ie, _), res in zip(tasks, outputs):
         trans[ik, ie] = res.transmission_lr
         counts[ik, ie] = res.num_prop_left
         results.append(res)
+        traces.append(res.trace)
+        if telemetry is not None and hasattr(telemetry,
+                                             "record_task_trace"):
+            telemetry.record_task_trace(res.trace)
     return TransportSpectrum(energies=energies, kpoints=kgrid,
                              transmission=trans, mode_counts=counts,
-                             results=results)
+                             results=results, traces=traces,
+                             telemetry=telemetry)
 
 
-def _make_task(dev, energy, obc_method, solver, num_partitions, obc_kwargs):
+def _make_task(pipe, cache, energy, ik, ie):
     def task():
-        return qtbm_energy_point(dev, energy, obc_method=obc_method,
-                                 solver=solver,
-                                 num_partitions=num_partitions,
-                                 obc_kwargs=obc_kwargs)
+        return pipe.solve_point(cache, energy, kpoint_index=ik,
+                                energy_index=ie)
     return task
 
 

@@ -6,11 +6,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+import scipy.linalg
+
 from repro.obc import compute_open_boundary
 from repro.obc.selfenergy import OpenBoundary
-from repro.solvers import SplitSolve, assemble_t, solve_bcr, solve_direct, solve_rgf
+from repro.solvers import assemble_t
 from repro.solvers.rgf import rgf_greens_blocks
-from repro.utils.errors import ConfigurationError
 
 
 @dataclass
@@ -29,6 +30,8 @@ class EnergyPointResult:
     from_left: np.ndarray       # bool per column
     velocities: np.ndarray      # injection |velocity| per column
     boundary: OpenBoundary = field(repr=False, default=None)
+    #: per-stage TaskTrace when solved through the pipeline (else None)
+    trace: object = field(repr=False, default=None)
 
     @property
     def conserved(self) -> float:
@@ -47,25 +50,6 @@ class EnergyPointResult:
         return max(errs) if errs else 0.0
 
 
-def _solve_system(device, a, ob, inj, solver: str, num_partitions: int,
-                  parallel: bool):
-    if solver == "splitsolve":
-        ss = SplitSolve(a, num_partitions=num_partitions, parallel=parallel)
-        s1 = a.block_sizes[0]
-        s2 = a.block_sizes[-1]
-        b_top = inj[:s1]
-        b_bottom = inj[sum(a.block_sizes) - s2:]
-        return ss.solve(ob.sigma_l, ob.sigma_r, b_top, b_bottom)
-    t = assemble_t(a, ob.sigma_l, ob.sigma_r)
-    if solver == "rgf":
-        return solve_rgf(t, inj)
-    if solver == "bcr":
-        return solve_bcr(t, inj)
-    if solver == "direct":
-        return solve_direct(t, inj)
-    raise ConfigurationError(f"unknown solver {solver!r}")
-
-
 def qtbm_energy_point(device, energy: float, obc_method: str = "feast",
                       solver: str = "splitsolve", num_partitions: int = 1,
                       parallel: bool = False, obc_kwargs: dict | None = None,
@@ -73,36 +57,26 @@ def qtbm_energy_point(device, energy: float, obc_method: str = "feast",
                       ) -> EnergyPointResult:
     """Solve one energy point of the wave-function transport problem.
 
+    Thin wrapper over :class:`repro.pipeline.TransportPipeline` — the
+    staged PREPARE/OBC/ASSEMBLE/SOLVE/ANALYZE path; kept as the
+    historical one-call entry point.
+
     Parameters
     ----------
-    device : DeviceMatrices
-    obc_method : "feast" | "shift_invert" | "dense"
-        Mode solver for the boundary (decimation provides no injection).
-    solver : "splitsolve" | "rgf" | "bcr" | "direct"
+    device : DeviceMatrices or repro.pipeline.DeviceCache
+    obc_method : any mode-based entry of the OBC registry
+        (built-ins: "feast" | "shift_invert" | "dense"; decimation
+        provides no injection).
+    solver : any entry of the solver registry, or "auto"
+        (built-ins: "splitsolve" | "rgf" | "bcr" | "direct").
     boundary : OpenBoundary, optional
         Reuse a precomputed boundary (e.g. when comparing solvers).
     """
-    ob = boundary if boundary is not None else compute_open_boundary(
-        device.lead, energy, method=obc_method, **(obc_kwargs or {}))
-    if ob.modes is None:
-        raise ConfigurationError(
-            "QTBM needs lead modes; use a mode-based obc_method")
-    a = device.a_matrix(energy)
-    inj = ob.injection_matrix(device.num_blocks, device.block_sizes)
-    from_left = np.array([m.from_left for m in ob.injected], dtype=bool)
-    vels = np.array([abs(m.velocity) for m in ob.injected], dtype=float)
-
-    if inj.shape[1] == 0:
-        return EnergyPointResult(
-            energy=energy, num_prop_left=0, num_prop_right=0,
-            transmission_lr=0.0, transmission_rl=0.0, reflection_l=0.0,
-            reflection_r=0.0, mode_transmissions=np.zeros(0),
-            psi=np.zeros((device.num_orbitals, 0), dtype=complex),
-            from_left=from_left, velocities=vels, boundary=ob)
-
-    psi = _solve_system(device, a, ob, inj, solver, num_partitions,
-                        parallel)
-    return analyze_solution(device, ob, psi, from_left, vels)
+    from repro.pipeline import TransportPipeline
+    pipe = TransportPipeline(obc_method=obc_method, solver=solver,
+                             num_partitions=num_partitions,
+                             parallel=parallel, obc_kwargs=obc_kwargs)
+    return pipe.solve_point(device, energy, boundary=boundary)
 
 
 def analyze_solution(device, ob: OpenBoundary, psi: np.ndarray,
@@ -127,6 +101,11 @@ def analyze_solution(device, ob: OpenBoundary, psi: np.ndarray,
     basis_l = modes.vectors[:, ~right]
     idx_l_prop = np.nonzero(prop[~right])[0] if (~right).any() else np.array([])
 
+    # Each decomposition basis is factored once (rank-revealing QR) and
+    # reused for every injected mode, instead of one lstsq per column.
+    flux_r = _FluxBasis(basis_r, idx_r_prop, v_r)
+    flux_l = _FluxBasis(basis_l, idx_l_prop, v_l)
+
     t_lr = t_rl = r_l = r_r = 0.0
     mode_t = []
     injected = ob.injected
@@ -136,17 +115,13 @@ def analyze_solution(device, ob: OpenBoundary, psi: np.ndarray,
         v_in = max(vels[col], 1e-300)
         if mode.from_left:
             # transmitted into the right lead
-            t_val = _flux_fraction(basis_r, idx_r_prop, v_r,
-                                   psi_last, v_in)
-            r_val = _flux_fraction(basis_l, idx_l_prop, v_l,
-                                   psi_first - mode.vector, v_in)
+            t_val = flux_r.flux_fraction(psi_last, v_in)
+            r_val = flux_l.flux_fraction(psi_first - mode.vector, v_in)
             t_lr += t_val
             r_l += r_val
         else:
-            t_val = _flux_fraction(basis_l, idx_l_prop, v_l,
-                                   psi_first, v_in)
-            r_val = _flux_fraction(basis_r, idx_r_prop, v_r,
-                                   psi_last - mode.vector, v_in)
+            t_val = flux_l.flux_fraction(psi_first, v_in)
+            r_val = flux_r.flux_fraction(psi_last - mode.vector, v_in)
             t_rl += t_val
             r_r += r_val
         mode_t.append(t_val)
@@ -161,14 +136,47 @@ def analyze_solution(device, ob: OpenBoundary, psi: np.ndarray,
         psi=psi, from_left=from_left, velocities=vels, boundary=ob)
 
 
-def _flux_fraction(basis: np.ndarray, prop_idx, prop_vel: np.ndarray,
-                   wave: np.ndarray, v_in: float) -> float:
-    """Flux carried by the propagating components of ``wave`` over v_in."""
-    if basis.shape[1] == 0 or len(prop_idx) == 0:
-        return 0.0
-    coeff, *_ = np.linalg.lstsq(basis, wave, rcond=None)
-    c_prop = coeff[prop_idx]
-    return float(np.sum(np.abs(c_prop) ** 2 * prop_vel) / v_in)
+class _FluxBasis:
+    """One outgoing-mode decomposition basis, factored once per point.
+
+    The least-squares decomposition of the boundary wavefunction is the
+    same basis for every injected mode — only the right-hand side
+    changes.  A pivoted economic QR is computed once; each
+    :meth:`flux_fraction` is then a gemv plus a triangular solve.  Bases
+    that are rank-deficient (or have more columns than rows) fall back to
+    per-call ``lstsq``, which handles them via the pseudo-inverse.
+    """
+
+    def __init__(self, basis: np.ndarray, prop_idx,
+                 prop_vel: np.ndarray):
+        self.basis = basis
+        self.prop_idx = np.asarray(prop_idx, dtype=int)
+        self.prop_vel = np.asarray(prop_vel, dtype=float)
+        self.empty = basis.shape[1] == 0 or self.prop_idx.size == 0
+        self._qr = None
+        if self.empty or basis.shape[0] < basis.shape[1]:
+            return
+        q, r, piv = scipy.linalg.qr(basis, mode="economic", pivoting=True)
+        diag = np.abs(np.diag(r))
+        cutoff = (max(basis.shape) * np.finfo(np.float64).eps
+                  * (diag[0] if diag.size else 0.0))
+        if diag.size and np.all(diag > cutoff):
+            inv_piv = np.empty_like(piv)
+            inv_piv[piv] = np.arange(piv.size)
+            self._qr = (q, r, inv_piv)
+
+    def flux_fraction(self, wave: np.ndarray, v_in: float) -> float:
+        """Flux carried by the propagating components of ``wave`` / v_in."""
+        if self.empty:
+            return 0.0
+        if self._qr is not None:
+            q, r, inv_piv = self._qr
+            coeff = scipy.linalg.solve_triangular(
+                r, q.conj().T @ wave)[inv_piv]
+        else:
+            coeff, *_ = np.linalg.lstsq(self.basis, wave, rcond=None)
+        c_prop = coeff[self.prop_idx]
+        return float(np.sum(np.abs(c_prop) ** 2 * self.prop_vel) / v_in)
 
 
 def negf_transmission(device, energy: float, eta: float = 1e-8,

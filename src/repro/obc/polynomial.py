@@ -65,6 +65,21 @@ class PolynomialEVP:
                           else htl[-l].conj().T.astype(complex))
         self.coeffs = coeffs
 
+    @classmethod
+    def _from_coeffs(cls, coeffs, energy: float, n: int, nbw: int):
+        """Assemble a PolynomialEVP from pre-built coefficients.
+
+        Used by :class:`PolynomialFamily`, which has already validated the
+        lead blocks and applied the Hermiticity fold; skips re-validation.
+        """
+        self = cls.__new__(cls)
+        self.energy = float(energy)
+        self.n = int(n)
+        self.nbw = int(nbw)
+        self.degree = 2 * self.nbw
+        self.coeffs = list(coeffs)
+        return self
+
     # -- basic evaluation ---------------------------------------------------
 
     @property
@@ -207,3 +222,49 @@ class PolynomialEVP:
             prev = z * prev - w[j - 1]
             x[j * n:(j + 1) * n] = prev
         return x[:, 0] if squeeze else x
+
+
+class PolynomialFamily:
+    """Energy-independent setup of a lead's polynomial EVPs.
+
+    Validating the lead blocks and applying the Hermiticity fold
+    C_{-l} = C_l^H is the same at every energy; only the subtraction
+    C_m(E) = H_m - E S_m changes.  A ``PolynomialFamily`` does the
+    structural work once per (lead, k-point) and :meth:`at_energy` then
+    builds each :class:`PolynomialEVP` with one axpy per coefficient.
+
+    Bitwise equivalence with the direct constructor holds because the
+    conjugate-transpose commutes exactly with the real-scalar multiply
+    and the subtraction under IEEE-754 (negation and conjugation are
+    exact), so pre-folding the blocks changes nothing in the result.
+    """
+
+    def __init__(self, h_cells, s_cells):
+        if len(h_cells) != len(s_cells):
+            raise ConfigurationError("h_cells and s_cells lengths differ")
+        if len(h_cells) < 2:
+            raise ConfigurationError(
+                "need at least onsite and first-neighbour blocks")
+        n = np.asarray(h_cells[0]).shape[0]
+        for blk in (*h_cells, *s_cells):
+            if np.asarray(blk).shape != (n, n):
+                raise ShapeError("all lead blocks must be n x n")
+        self.n = n
+        self.nbw = len(h_cells) - 1
+        self.degree = 2 * self.nbw
+        pairs = []
+        for m in range(self.degree + 1):
+            l = m - self.nbw
+            if l >= 0:
+                pairs.append((np.asarray(h_cells[l]),
+                              np.asarray(s_cells[l])))
+            else:
+                pairs.append((np.asarray(h_cells[-l]).conj().T,
+                              np.asarray(s_cells[-l]).conj().T))
+        self._pairs = pairs
+
+    def at_energy(self, energy: float) -> PolynomialEVP:
+        """P(lambda; E) with coefficients C_m = H_m - E S_m."""
+        e = float(energy)
+        coeffs = [(h - e * s).astype(complex) for h, s in self._pairs]
+        return PolynomialEVP._from_coeffs(coeffs, e, self.n, self.nbw)

@@ -44,6 +44,7 @@ from repro.obc.feast import feast_annulus
 from repro.obc.modes import LeadModes, classify_modes, fold_modes, folded_velocity
 from repro.obc.polynomial import PolynomialEVP
 from repro.obc.shift_invert import shift_invert_modes
+from repro.pipeline.registry import OBC_METHODS, register_obc_method
 from repro.utils.errors import ConfigurationError
 
 
@@ -195,37 +196,71 @@ def boundary_from_decimation(lead: LeadBlocks, energy: float,
                         injected=[], method="decimation")
 
 
+# --------------------------------------------------------------------------
+# Registered OBC methods (the pipeline's OBC-stage extension point).
+#
+# Mode-based methods carry ``uses_pevp=True`` metadata and accept a
+# ``pevp=`` keyword so a per-k DeviceCache can pass a pre-assembled
+# :class:`PolynomialEVP`; when omitted they build their own.
+# --------------------------------------------------------------------------
+
+def _mode_boundary(lead: LeadBlocks, energy: float, solve_modes,
+                   method: str, pevp: PolynomialEVP | None,
+                   **kwargs) -> OpenBoundary:
+    if pevp is None:
+        pevp = PolynomialEVP(lead.h_cells, lead.s_cells, energy)
+    lams, us = solve_modes(pevp, **kwargs)
+    modes = classify_modes(pevp, lams, us)
+    folded = fold_modes(modes, lead.nbw)
+    return boundary_from_modes(lead, energy, folded, method=method)
+
+
+@register_obc_method("dense", uses_pevp=True)
+def _obc_dense(lead: LeadBlocks, energy: float, *, pevp=None,
+               **kwargs) -> OpenBoundary:
+    """Full ``zggev`` on the companion pencil (exact, O(NBC^3); reference)."""
+    return _mode_boundary(lead, energy,
+                          lambda p, **kw: p.solve_dense(**kw),
+                          "dense", pevp, **kwargs)
+
+
+@register_obc_method("feast", uses_pevp=True)
+def _obc_feast(lead: LeadBlocks, energy: float, *, pevp=None,
+               **kwargs) -> OpenBoundary:
+    """The paper's contour solver (Section 3A)."""
+    def solve(p, **kw):
+        res = feast_annulus(p, **kw)
+        return res.lambdas, res.vectors
+    return _mode_boundary(lead, energy, solve, "feast", pevp, **kwargs)
+
+
+@register_obc_method("shift_invert", uses_pevp=True)
+def _obc_shift_invert(lead: LeadBlocks, energy: float, *, pevp=None,
+                      **kwargs) -> OpenBoundary:
+    """The tight-binding-era baseline [38]."""
+    return _mode_boundary(lead, energy, shift_invert_modes,
+                          "shift_invert", pevp, **kwargs)
+
+
+@register_obc_method("decimation", uses_pevp=False)
+def _obc_decimation(lead: LeadBlocks, energy: float,
+                    **kwargs) -> OpenBoundary:
+    """Sancho-Rubio surface GF [40]: self-energies only, no modes, so
+    wave-function injection is unavailable and the NEGF route must be
+    used."""
+    return boundary_from_decimation(lead, energy, **kwargs)
+
+
 def compute_open_boundary(lead: LeadBlocks, energy: float,
                           method: str = "feast",
                           **kwargs) -> OpenBoundary:
     """Compute the OBCs of one lead at one energy.
 
-    Parameters
-    ----------
-    method : str
-        * ``"feast"`` — the paper's contour solver (Section 3A).
-        * ``"shift_invert"`` — the tight-binding-era baseline [38].
-        * ``"dense"`` — full ``zggev`` on the companion pencil (exact,
-          O(NBC^3); reference).
-        * ``"decimation"`` — Sancho-Rubio surface GF [40] (self-energies
-          only; supplies no modes, so wave-function injection is
-          unavailable and the NEGF route must be used).
-    kwargs are forwarded to the underlying solver.
+    ``method`` names an entry of the
+    :data:`repro.pipeline.registry.OBC_METHODS` registry (built-ins:
+    ``"feast"``, ``"shift_invert"``, ``"dense"``, ``"decimation"``; see
+    the registered adapters above, and
+    :func:`repro.pipeline.register_obc_method` to add your own).  kwargs
+    are forwarded to the underlying solver.
     """
-    if method == "decimation":
-        return boundary_from_decimation(lead, energy, **kwargs)
-
-    pevp = PolynomialEVP(lead.h_cells, lead.s_cells, energy)
-    if method == "dense":
-        lams, us = pevp.solve_dense()
-    elif method == "feast":
-        res = feast_annulus(pevp, **kwargs)
-        lams, us = res.lambdas, res.vectors
-    elif method == "shift_invert":
-        lams, us = shift_invert_modes(pevp, **kwargs)
-    else:
-        raise ConfigurationError(f"unknown OBC method {method!r}")
-
-    modes = classify_modes(pevp, lams, us)
-    folded = fold_modes(modes, lead.nbw)
-    return boundary_from_modes(lead, energy, folded, method=method)
+    return OBC_METHODS.get(method)(lead, energy, **kwargs)

@@ -90,6 +90,73 @@ def splitsolve_flop_model(num_blocks: int, block_size: int,
     return total
 
 
+def rgf_flop_model(num_blocks: int, block_size: int, num_rhs: int,
+                   is_complex: bool = True) -> int:
+    """Flops of one RGF (block Thomas) solve with ``num_rhs`` columns.
+
+    Backward sweep: per interior block one LU factor, one block solve
+    with s+m right-hand sides (inv(schur) applied to the coupling block
+    and the rhs together), one (s,s,s) Schur gemm and one (s,m,s) rhs
+    gemm; forward substitution: one (s,m,s) gemm per block.  This is an
+    exact count of the kernels :func:`repro.solvers.rgf.solve_rgf`
+    executes, leading order ~ (8/3 + 16) nb s^3 real flops for m ~ s —
+    the classic RGF scaling the paper's Fig. 8 CPU curve follows.
+    """
+    if num_blocks < 1:
+        raise ConfigurationError("model needs >= 1 block")
+    s = block_size
+    m = num_rhs
+    total = 0
+    for i in range(num_blocks):
+        nrhs = (s if i < num_blocks - 1 else 0) + m
+        total += _fl.lu_flops(s, is_complex)
+        total += 2 * _fl.trsm_flops(s, nrhs, is_complex)
+        if i < num_blocks - 1:
+            total += _fl.gemm_flops(s, s, s, is_complex)  # Schur update
+            total += _fl.gemm_flops(s, m, s, is_complex)  # rhs update
+    total += (num_blocks - 1) * _fl.gemm_flops(s, m, s, is_complex)
+    return total
+
+
+def _device_rate_ratio() -> float:
+    """Sustained GPU/CPU rate ratio used to weigh solver flop counts.
+
+    Taken from the Titan node specs when the hardware model is available
+    (sustained K20X rate over the usable Opteron cores); falls back to
+    the paper-era ratio of ~8 otherwise.
+    """
+    try:
+        from repro.hardware import TITAN
+        node = TITAN.node
+        gpu = node.gpu.peak_dp_gflops * node.gpu.sustained_fraction
+        cpu = (node.cpu.peak_dp_gflops * node.cpu.sustained_fraction
+               * node.usable_core_fraction)
+        if gpu > 0 and cpu > 0:
+            return gpu / cpu
+    except Exception:
+        pass
+    return 8.0
+
+
+def choose_solver(num_blocks: int, block_size: int, num_rhs: int,
+                  num_partitions: int = 1, hermitian: bool = False) -> str:
+    """The OMEN-style SplitSolve-vs-RGF choice (``solver="auto"``).
+
+    Compares the deterministic flop models, weighting SplitSolve's count
+    by the GPU/CPU rate ratio (SplitSolve runs on the accelerators, RGF
+    on the host cores).  Systems the SplitSolve model cannot price
+    (fewer than 2 blocks) fall back to RGF.
+    """
+    num_rhs = max(int(num_rhs), 1)
+    if num_blocks < 2:
+        return "rgf"
+    ss = splitsolve_flop_model(num_blocks, block_size, num_rhs,
+                               num_partitions=num_partitions,
+                               hermitian=hermitian)
+    rgf = rgf_flop_model(num_blocks, block_size, num_rhs)
+    return "splitsolve" if ss / _device_rate_ratio() <= rgf else "rgf"
+
+
 def measure_flops(fn, *args, **kwargs):
     """Run ``fn`` under a fresh ledger; return (result, ledger)."""
     with ledger_scope() as led:

@@ -1,0 +1,64 @@
+"""Data-centric transport pipeline: stages, registries, caching, traces.
+
+The architectural layer between the physics modules and the runtime:
+one (k, E) point is an explicit ``PREPARE -> OBC -> ASSEMBLE -> SOLVE ->
+ANALYZE`` stage sequence (:class:`TransportPipeline`), stage
+implementations are pluggable through decorator registries
+(:func:`register_solver`, :func:`register_obc_method`), k-invariant data
+lives in a :class:`DeviceCache`, and every stage emits a
+:class:`StageTrace` that rolls up into run-level telemetry and measured
+load-balancer costs.
+
+``TransportPipeline`` and ``DeviceCache`` are imported lazily: the
+registry and trace primitives must stay importable from low-level
+modules (``repro.obc``, ``repro.solvers``) without dragging in the full
+solve path.
+"""
+
+from repro.pipeline.registry import (
+    AUTO,
+    OBC_METHODS,
+    SOLVERS,
+    Registry,
+    get_obc_method,
+    get_solver,
+    register_obc_method,
+    register_solver,
+    resolve_solver_name,
+)
+from repro.pipeline.trace import STAGES, StageTrace, TaskTrace, stage_scope
+
+__all__ = [
+    "AUTO",
+    "OBC_METHODS",
+    "SOLVERS",
+    "Registry",
+    "get_obc_method",
+    "get_solver",
+    "register_obc_method",
+    "register_solver",
+    "resolve_solver_name",
+    "STAGES",
+    "StageTrace",
+    "TaskTrace",
+    "stage_scope",
+    "TransportPipeline",
+    "DeviceCache",
+    "as_cache",
+]
+
+_LAZY = {
+    "TransportPipeline": "repro.pipeline.pipeline",
+    "DeviceCache": "repro.pipeline.cache",
+    "as_cache": "repro.pipeline.cache",
+}
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        import importlib
+        mod = importlib.import_module(_LAZY[name])
+        val = getattr(mod, name)
+        globals()[name] = val
+        return val
+    raise AttributeError(f"module 'repro.pipeline' has no attribute {name!r}")

@@ -1,0 +1,124 @@
+"""The staged (k, E) transport pipeline.
+
+One energy point of the paper's production flow (Fig. 6) is a fixed
+sequence of phases; :class:`TransportPipeline` makes them explicit:
+
+    PREPARE  — materialize k-invariant block data (DeviceCache warm-up)
+    OBC      — open boundary conditions: lead modes + Sigma^RB (Eq. 6)
+    ASSEMBLE — A(E) = E*S - H and the injection vectors Inj (Eq. 5)
+    SOLVE    — (A - Sigma^RB) psi = Inj via a registered solver
+    ANALYZE  — transmission/reflection observables from psi
+
+Implementations for OBC and SOLVE come from the
+:mod:`repro.pipeline.registry` registries; ``solver="auto"`` is resolved
+per point through the :mod:`repro.perfmodel.costmodel` flop models (the
+OMEN-style SplitSolve-vs-RGF choice).  Every stage runs under
+:func:`repro.pipeline.trace.stage_scope`, so each
+:class:`~repro.negf.transmission.EnergyPointResult` carries a
+:class:`~repro.pipeline.trace.TaskTrace` whose stage flop counts
+reconcile exactly with the surrounding :mod:`repro.linalg.flops` ledger.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.negf.transmission import EnergyPointResult, analyze_solution
+from repro.pipeline.cache import DeviceCache, as_cache
+from repro.pipeline.registry import SOLVERS, resolve_solver_name
+from repro.pipeline.trace import TaskTrace, stage_scope
+from repro.utils.errors import ConfigurationError
+from repro.utils.timing import StageTimer
+
+
+class TransportPipeline:
+    """Configured stage driver for (k, E) transport points.
+
+    Parameters mirror the historical ``qtbm_energy_point`` signature;
+    ``obc_method`` and ``solver`` name registry entries (``solver="auto"``
+    defers the choice to the cost model, per point).
+    """
+
+    def __init__(self, obc_method: str = "feast",
+                 solver: str = "splitsolve", num_partitions: int = 1,
+                 parallel: bool = False, obc_kwargs: dict | None = None):
+        self.obc_method = obc_method
+        self.solver = solver
+        self.num_partitions = num_partitions
+        self.parallel = parallel
+        self.obc_kwargs = dict(obc_kwargs or {})
+
+    def cache(self, device) -> DeviceCache:
+        """A per-k cache for ``device`` (reuse it across energies)."""
+        return as_cache(device)
+
+    def solve_point(self, device, energy: float, *,
+                    boundary=None, kpoint_index: int = -1,
+                    energy_index: int = -1) -> EnergyPointResult:
+        """Run one (k, E) point through all stages.
+
+        ``device`` is a DeviceMatrices or a :class:`DeviceCache`; pass the
+        same cache for every energy of a k-point to amortize the PREPARE
+        work.  ``boundary`` short-circuits the OBC stage with a
+        precomputed :class:`~repro.obc.selfenergy.OpenBoundary` (e.g. when
+        comparing solvers at one point).
+        """
+        cache = as_cache(device)
+        trace = TaskTrace(kpoint_index=kpoint_index,
+                          energy_index=energy_index, energy=float(energy))
+        timer = StageTimer()
+
+        with stage_scope(trace, "PREPARE", timer):
+            cache.warm()
+
+        with stage_scope(trace, "OBC", timer) as st:
+            if boundary is not None:
+                ob = boundary
+                st.meta["reused"] = True
+            else:
+                ob = cache.boundary(energy, self.obc_method,
+                                    **self.obc_kwargs)
+            st.meta["method"] = ob.method or self.obc_method
+            if ob.modes is None:
+                raise ConfigurationError(
+                    "QTBM needs lead modes; use a mode-based obc_method")
+
+        with stage_scope(trace, "ASSEMBLE", timer) as st:
+            a = cache.a_matrix(energy)
+            inj = ob.injection_matrix(cache.num_blocks, cache.block_sizes)
+            from_left = np.array([m.from_left for m in ob.injected],
+                                 dtype=bool)
+            vels = np.array([abs(m.velocity) for m in ob.injected],
+                            dtype=float)
+            st.meta["num_rhs"] = int(inj.shape[1])
+
+        if inj.shape[1] == 0:
+            # no propagating modes at this energy: nothing to solve
+            result = EnergyPointResult(
+                energy=float(energy), num_prop_left=0, num_prop_right=0,
+                transmission_lr=0.0, transmission_rl=0.0,
+                reflection_l=0.0, reflection_r=0.0,
+                mode_transmissions=np.zeros(0),
+                psi=np.zeros((cache.num_orbitals, 0), dtype=complex),
+                from_left=from_left, velocities=vels, boundary=ob)
+            result.trace = trace
+            return result
+
+        with stage_scope(trace, "SOLVE", timer) as st:
+            name = resolve_solver_name(
+                self.solver, num_blocks=cache.num_blocks,
+                block_size=int(max(cache.block_sizes)),
+                num_rhs=int(inj.shape[1]),
+                num_partitions=self.num_partitions)
+            st.meta["solver"] = name
+            info: dict = {}
+            psi = SOLVERS.get(name)(
+                a, ob, inj, num_partitions=self.num_partitions,
+                parallel=self.parallel, info=info)
+            st.meta.update(info)
+
+        with stage_scope(trace, "ANALYZE", timer):
+            result = analyze_solution(cache, ob, psi, from_left, vels)
+
+        result.trace = trace
+        return result

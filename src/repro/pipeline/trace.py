@@ -1,0 +1,114 @@
+"""Structured stage-level traces for the transport pipeline.
+
+Each (k, E) task runs through the fixed stage sequence ``PREPARE ->
+OBC -> ASSEMBLE -> SOLVE -> ANALYZE`` (paper Fig. 6: the phases of one
+energy point).  :func:`stage_scope` wraps one stage execution and
+captures
+
+* wall time, via :class:`repro.utils.timing.StageTimer`, and
+* flops, by running the stage under a fresh probe
+  :class:`repro.linalg.flops.FlopLedger` that is merged into whatever
+  ledger was active when the stage started.
+
+Because every kernel-recording call inside the stage lands in the probe
+and the probe is merged verbatim into the parent, the sum of stage flop
+counts reconciles *exactly* with the surrounding ledger total — the
+acceptance criterion for trace-driven telemetry.  Traces are plain data:
+they aggregate into :class:`repro.runtime.RunTelemetry` and feed measured
+per-task costs to the dynamic load balancer.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.linalg.flops import FlopLedger, current_ledger, ledger_scope
+from repro.utils.timing import StageTimer
+
+#: Canonical stage order of one (k, E) transport task.
+STAGES = ("PREPARE", "OBC", "ASSEMBLE", "SOLVE", "ANALYZE")
+
+
+@dataclass
+class StageTrace:
+    """One executed pipeline stage: name, wall time, flops, diagnostics."""
+
+    name: str
+    seconds: float = 0.0
+    flops: int = 0
+    meta: dict = field(default_factory=dict)
+
+    def as_row(self) -> str:
+        return (f"{self.name:<9s} {self.seconds * 1e3:9.3f} ms "
+                f"{self.flops:>14,d} flop")
+
+
+@dataclass
+class TaskTrace:
+    """All stage traces of one (k, E) task."""
+
+    kpoint_index: int = -1
+    energy_index: int = -1
+    energy: float = 0.0
+    stages: list = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(s.seconds for s in self.stages))
+
+    @property
+    def total_flops(self) -> int:
+        return int(sum(s.flops for s in self.stages))
+
+    def stage(self, name: str) -> StageTrace:
+        for s in self.stages:
+            if s.name == name:
+                return s
+        raise KeyError(name)
+
+    def stage_seconds(self) -> dict:
+        out: dict = {}
+        for s in self.stages:
+            out[s.name] = out.get(s.name, 0.0) + s.seconds
+        return out
+
+    def stage_flops(self) -> dict:
+        out: dict = {}
+        for s in self.stages:
+            out[s.name] = out.get(s.name, 0) + s.flops
+        return out
+
+    def as_table(self) -> str:
+        lines = [f"task (k={self.kpoint_index}, iE={self.energy_index}, "
+                 f"E={self.energy:+.4f} eV)"]
+        lines += ["  " + s.as_row() for s in self.stages]
+        lines.append(f"  {'total':<9s} {self.total_seconds * 1e3:9.3f} ms "
+                     f"{self.total_flops:>14,d} flop")
+        return "\n".join(lines)
+
+
+@contextmanager
+def stage_scope(trace: TaskTrace, name: str, timer: StageTimer | None = None):
+    """Run one stage under timing + a probe flop ledger.
+
+    Yields the :class:`StageTrace` so the stage body can attach ``meta``
+    entries (e.g. the resolved solver name, SplitSolve phase times).  The
+    probe ledger inherits the parent's ``trace`` flag so per-kernel event
+    streams (Fig. 12 activity) survive, and is merged into the parent on
+    exit — success or failure — so resilience accounting of a failed
+    attempt still sees the flops it burned.
+    """
+    timer = timer if timer is not None else StageTimer()
+    parent = current_ledger()
+    probe = FlopLedger(trace=parent.trace)
+    st = StageTrace(name=name)
+    trace.stages.append(st)
+    try:
+        with timer.stage(name):
+            with ledger_scope(probe):
+                yield st
+    finally:
+        parent.merge(probe)
+        st.seconds = float(timer.stages.get(name, 0.0))
+        st.flops = int(probe.total_flops)

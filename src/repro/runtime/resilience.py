@@ -43,6 +43,10 @@ class RunTelemetry:
     wasted_flops: int = 0
     wasted_time_s: float = 0.0
     straggler_delay_s: float = 0.0
+    #: aggregated pipeline stage breakdown (PREPARE/OBC/.../ANALYZE)
+    stage_time_s: dict = field(default_factory=lambda: defaultdict(float))
+    stage_flops: dict = field(default_factory=lambda: defaultdict(int))
+    tasks_traced: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock,
                                   repr=False)
 
@@ -73,6 +77,21 @@ class RunTelemetry:
         with self._lock:
             self.giveups += 1
 
+    def record_task_trace(self, trace) -> None:
+        """Fold one pipeline :class:`~repro.pipeline.TaskTrace` in."""
+        if trace is None:
+            return
+        with self._lock:
+            self.tasks_traced += 1
+            for st in trace.stages:
+                self.stage_time_s[st.name] += st.seconds
+                self.stage_flops[st.name] += st.flops
+
+    @property
+    def traced_flops(self) -> int:
+        with self._lock:
+            return int(sum(self.stage_flops.values()))
+
     @property
     def total_failures(self) -> int:
         with self._lock:
@@ -93,6 +112,14 @@ class RunTelemetry:
             f"{self.wasted_time_s:.3g} s "
             f"(+{self.straggler_delay_s:.3g} s straggling)",
         ]
+        if self.tasks_traced:
+            total_t = sum(self.stage_time_s.values()) or 1.0
+            rows.append(f"stages      ({self.tasks_traced} tasks traced)")
+            for name in self.stage_time_s:
+                t = self.stage_time_s[name]
+                rows.append(
+                    f"  {name:<9s} {t * 1e3:9.2f} ms ({t / total_t:5.1%})"
+                    f"  {self.stage_flops.get(name, 0):>14,d} flop")
         return "\n".join("  " + r for r in rows)
 
 

@@ -21,6 +21,7 @@ from repro.solvers.direct import SparseDirectSolver, solve_direct
 from repro.solvers.rgf import solve_rgf, rgf_greens_blocks
 from repro.solvers.bcr import solve_bcr
 from repro.solvers.splitsolve import SplitSolve
+from repro.solvers import dispatch as _dispatch  # registers built-in solvers
 
 __all__ = [
     "assemble_t",

@@ -23,13 +23,27 @@ def assemble_t(a: BlockTridiagonalMatrix, sigma_l: np.ndarray,
     if sigma_r.shape != (s2, s2):
         raise ShapeError(
             f"sigma_r is {sigma_r.shape}, last block is {s2}x{s2}")
+
+    # Only the two corner diagonal blocks are modified; every other block
+    # can be shared with ``a`` (no solver writes into its input blocks),
+    # which keeps assembly O(s1^2 + s2^2) instead of O(total).  ``astype``
+    # already copies, so the corners are always private; interior blocks
+    # are converted only when they are not complex128 yet.
+    diag = [_as_complex(b) for b in a.diag]
+    diag[0] = a.diag[0].astype(complex)
+    if len(diag) > 1:
+        diag[-1] = a.diag[-1].astype(complex)
     t = BlockTridiagonalMatrix(
-        [b.astype(complex).copy() for b in a.diag],
-        [b.astype(complex) for b in a.upper],
-        [b.astype(complex) for b in a.lower])
+        diag,
+        [_as_complex(b) for b in a.upper],
+        [_as_complex(b) for b in a.lower])
     t.diag[0] -= sigma_l
     t.diag[-1] -= sigma_r
     return t
+
+
+def _as_complex(b: np.ndarray) -> np.ndarray:
+    return b if b.dtype == np.complex128 else b.astype(complex)
 
 
 def boundary_rhs(block_sizes, b_top: np.ndarray,

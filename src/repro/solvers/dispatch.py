@@ -1,0 +1,77 @@
+"""Built-in solver registrations for the transport pipeline.
+
+Each adapter solves ``(A - Sigma^RB) psi = Inj`` — the SOLVE stage
+contract ``fn(a, ob, inj, *, num_partitions=1, parallel=False,
+info=None) -> psi`` — and is registered in
+:data:`repro.pipeline.registry.SOLVERS` under the names of the paper's
+Fig. 8 comparison.  ``info`` (when a dict is passed) receives solver
+diagnostics that end up on the SOLVE :class:`~repro.pipeline.StageTrace`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pipeline.registry import register_solver
+from repro.solvers.assemble import assemble_t
+from repro.solvers.bcr import solve_bcr
+from repro.solvers.direct import solve_direct
+from repro.solvers.rgf import solve_rgf
+from repro.solvers.splitsolve import SplitSolve
+
+
+@register_solver("splitsolve", accelerated=True)
+def _solve_splitsolve(a, ob, inj, *, num_partitions=1, parallel=False,
+                      info=None):
+    """The paper's multi-accelerator algorithm (SMW + Algorithm 1 + SPIKE).
+
+    Works on the Sigma-free A directly; the boundary self-energies enter
+    through the low-rank Sherman-Morrison-Woodbury correction.
+
+    SplitSolve takes the top-row and bottom-row right-hand sides as two
+    separate column sets, so the mixed-side ``inj`` is split by injection
+    side (left-injected columns live in the first block row, right-injected
+    in the last) and the solution columns are scattered back into injected
+    order.
+    """
+    ss = SplitSolve(a, num_partitions=num_partitions, parallel=parallel)
+    s1 = a.block_sizes[0]
+    s2 = a.block_sizes[-1]
+    ntot = sum(a.block_sizes)
+    from_left = np.array([m.from_left for m in ob.injected], dtype=bool)
+    if from_left.size != inj.shape[1]:
+        # generic rhs (not one column per injected mode): solve all
+        # columns against both block rows
+        b_top = inj[:s1]
+        b_bottom = inj[ntot - s2:, :0]
+        psi = ss.solve(ob.sigma_l, ob.sigma_r, b_top, b_bottom)
+    else:
+        b_top = inj[:s1][:, from_left]
+        b_bottom = inj[ntot - s2:][:, ~from_left]
+        x = ss.solve(ob.sigma_l, ob.sigma_r, b_top, b_bottom)
+        psi = np.empty((ntot, inj.shape[1]), dtype=complex)
+        psi[:, from_left] = x[:, :b_top.shape[1]]
+        psi[:, ~from_left] = x[:, b_top.shape[1]:]
+    if info is not None:
+        info["phase_times"] = dict(ss.timer.stages)
+        info["num_devices"] = ss.num_devices
+    return psi
+
+
+@register_solver("rgf")
+def _solve_rgf(a, ob, inj, *, num_partitions=1, parallel=False, info=None):
+    """Recursive Green's function (block Thomas) [47]."""
+    return solve_rgf(assemble_t(a, ob.sigma_l, ob.sigma_r), inj)
+
+
+@register_solver("bcr")
+def _solve_bcr(a, ob, inj, *, num_partitions=1, parallel=False, info=None):
+    """Block cyclic reduction (OMEN's legacy CPU solver) [33]."""
+    return solve_bcr(assemble_t(a, ob.sigma_l, ob.sigma_r), inj)
+
+
+@register_solver("direct")
+def _solve_direct(a, ob, inj, *, num_partitions=1, parallel=False,
+                  info=None):
+    """Sparse-direct LU (the MUMPS baseline)."""
+    return solve_direct(assemble_t(a, ob.sigma_l, ob.sigma_r), inj)

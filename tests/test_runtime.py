@@ -449,8 +449,8 @@ class TestProductionCheckpoint:
                                   bias_points=[0.0, 0.1], **common)
         ckpt = tmp_path / "sweep.npz"
         # first point completes, then the allocation dies
-        run_production(chain, single_s_basis(), 8, bias_points=[0.0],
-                       checkpoint=ckpt, **common)
+        first = run_production(chain, single_s_basis(), 8,
+                               bias_points=[0.0], checkpoint=ckpt, **common)
         resumed = run_production(chain, single_s_basis(), 8,
                                  bias_points=[0.0, 0.1],
                                  checkpoint=ckpt, **common)
@@ -459,8 +459,16 @@ class TestProductionCheckpoint:
             assert got.vds == want.vds
             assert got.current == want.current
             assert got.scf_iterations == want.scf_iterations
-        np.testing.assert_allclose(resumed.balancer._work,
-                                   straight.balancer._work)
+        # the balancer's learned model is restored from disk, not
+        # recomputed: the first iteration's work vector is bit-identical
+        # to the interrupted run's (the values themselves are *measured*
+        # wall times now, so the straight sweep's model only matches in
+        # shape and positivity, not numerically)
+        np.testing.assert_array_equal(resumed.balancer.history[0],
+                                      first.balancer.history[0])
+        assert resumed.balancer._work.shape == \
+            straight.balancer._work.shape
+        assert np.all(resumed.balancer._work > 0)
         assert len(resumed.balancer.history) == 2
 
     def test_mismatched_sweep_rejected(self, tmp_path):
