@@ -1,0 +1,186 @@
+"""Energy-batched pipeline benchmark: per-point vs (k, E-batch) execution.
+
+Times the same energy grid through ``TransportPipeline.solve_point``
+(one dispatch per energy) and ``TransportPipeline.solve_batch`` (stacked
+assembly + batched RGF, one dispatch per block for the whole batch) on a
+many-small-blocks synthetic wire — the regime where per-call dispatch
+overhead dominates and batching pays the most, exactly the motivation for
+cuBLAS/MAGMA ``*Batched`` kernels on the paper's GPU nodes.
+
+Writes ``BENCH_batching.json`` at the repo root with median wall times,
+the measured speedup, flop counts of both paths (equal by construction),
+and the max transmission deviation (must sit at the 1e-10 equivalence
+criterion).
+
+Run standalone (``python benchmarks/bench_batching.py [--smoke]``) or
+through pytest (``pytest benchmarks/bench_batching.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.hamiltonian import LeadBlocks
+from repro.hamiltonian.device import synthetic_device_from_lead
+from repro.linalg import ledger_scope
+from repro.pipeline import TransportPipeline
+from repro.utils.rng import make_rng
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_batching.json"
+
+
+def build_benchmark_device(num_blocks: int, block_size: int, seed: int = 0):
+    """A coupled multi-channel wire with propagating modes around E = 2.
+
+    Same recipe as the Fig. 6 experiment lead: onsite 2*I plus a small
+    Hermitian perturbation, hopping -I plus a small coupling — every
+    channel carries a cosine band spanning (0, 4), so the benchmark
+    window sits far from any band edge.
+    """
+    rng = make_rng(seed)
+    pert = 0.05 * rng.standard_normal((block_size, block_size))
+    h00 = 2.0 * np.eye(block_size) + 0.5 * (pert + pert.T)
+    h01 = -np.eye(block_size) + 0.02 * rng.standard_normal(
+        (block_size, block_size))
+    s00 = np.eye(block_size)
+    s01 = np.zeros((block_size, block_size))
+    lead = LeadBlocks(h_cells=[h00, h01], s_cells=[s00, s01],
+                      h00=h00, h01=h01, s00=s00, s01=s01)
+    return synthetic_device_from_lead(lead, num_blocks)
+
+
+def _reset_assembly_memos(cache) -> None:
+    # drop the single-entry A(E) memos between timed repetitions so both
+    # paths rebuild their assembly every round (boundaries stay warm)
+    with cache._lock:
+        cache._a_memo = None
+        cache._a_batch_memo = None
+
+
+def run(num_blocks: int = 96, block_size: int = 4, num_energies: int = 64,
+        batch_size: int = 16, rounds: int = 5, seed: int = 0) -> dict:
+    """Measure per-point vs batched execution of one k-point's E-grid."""
+    device = build_benchmark_device(num_blocks, block_size, seed)
+    pipe = TransportPipeline(obc_method="dense", solver="rgf")
+    cache = pipe.cache(device)
+    energies = np.linspace(1.6, 2.4, num_energies)
+
+    # warm everything both paths share un-timed (block extraction, OBC
+    # mode eigenproblems) so the measurement isolates the dispatch +
+    # assembly + solve work that batching actually restructures
+    cache.warm()
+    for e in energies:
+        cache.boundary(float(e), "dense")
+
+    def run_point():
+        return [pipe.solve_point(cache, float(e), energy_index=j)
+                for j, e in enumerate(energies)]
+
+    def run_batch():
+        out = []
+        for lo in range(0, len(energies), batch_size):
+            chunk = [float(e) for e in energies[lo:lo + batch_size]]
+            out.extend(pipe.solve_batch(
+                cache, chunk,
+                energy_indices=range(lo, lo + len(chunk))))
+        return out
+
+    # one untimed pass per path under a fresh ledger: equivalence check
+    # plus the exact flop counts the acceptance criterion compares
+    _reset_assembly_memos(cache)
+    with ledger_scope() as led_point:
+        ref = run_point()
+    _reset_assembly_memos(cache)
+    with ledger_scope() as led_batch:
+        bat = run_batch()
+    t_point = np.array([r.transmission_lr for r in ref])
+    t_batch = np.array([r.transmission_lr for r in bat])
+    max_dt = float(np.max(np.abs(t_point - t_batch)))
+
+    times_point, times_batch = [], []
+    for _ in range(rounds):
+        _reset_assembly_memos(cache)
+        t0 = time.perf_counter()
+        run_point()
+        times_point.append(time.perf_counter() - t0)
+        _reset_assembly_memos(cache)
+        t0 = time.perf_counter()
+        run_batch()
+        times_batch.append(time.perf_counter() - t0)
+
+    med_point = statistics.median(times_point)
+    med_batch = statistics.median(times_batch)
+    return {
+        "device": {"num_blocks": num_blocks, "block_size": block_size,
+                   "seed": seed},
+        "num_energies": num_energies,
+        "energy_batch_size": batch_size,
+        "rounds": rounds,
+        "median_seconds_per_point": med_point,
+        "median_seconds_batched": med_batch,
+        "speedup": med_point / med_batch,
+        "flops_per_point": int(led_point.total_flops),
+        "flops_batched": int(led_batch.total_flops),
+        "max_transmission_deviation": max_dt,
+        "transmission_sum": float(t_point.sum()),
+    }
+
+
+def report(results: dict) -> str:
+    d = results["device"]
+    lines = [
+        "Energy-batched pipeline benchmark",
+        f"  device: {d['num_blocks']} blocks x {d['block_size']} orbitals, "
+        f"{results['num_energies']} energies, "
+        f"batch size {results['energy_batch_size']}",
+        f"  per-point : {results['median_seconds_per_point'] * 1e3:9.2f} ms "
+        f"({results['flops_per_point']:,d} flop)",
+        f"  batched   : {results['median_seconds_batched'] * 1e3:9.2f} ms "
+        f"({results['flops_batched']:,d} flop)",
+        f"  speedup   : {results['speedup']:.2f}x",
+        f"  max |dT|  : {results['max_transmission_deviation']:.3e}",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(results: dict, path: Path = JSON_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_batching(reportout):
+    """Smoke-scale run asserting the acceptance invariants."""
+    results = run(num_blocks=48, block_size=4, num_energies=16,
+                  batch_size=8, rounds=3)
+    assert results["max_transmission_deviation"] <= 1e-10
+    assert results["flops_per_point"] == results["flops_batched"]
+    assert results["speedup"] > 1.0
+    reportout(report(results))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small configuration for CI (seconds, not minutes)")
+    ap.add_argument("--out", type=Path, default=JSON_PATH,
+                    help=f"output JSON path (default {JSON_PATH})")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        results = run(num_blocks=48, block_size=4, num_energies=16,
+                      batch_size=8, rounds=3)
+    else:
+        results = run()
+    print(report(results))
+    path = write_json(results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -46,18 +46,39 @@ def silicon_utb_device(tbody_nm: float = 0.8, length_cells: int = 4,
 
 def transmission(device, energies, obc_method: str = "feast",
                  solver: str = "splitsolve", num_partitions: int = 1,
-                 **kwargs) -> np.ndarray:
-    """T(E) of a prepared device; one row per energy: (E, modes, T)."""
-    rows = []
+                 energy_batch_size: int = 1, **kwargs) -> np.ndarray:
+    """T(E) of a prepared device; one row per energy: (E, modes, T).
+
+    ``energy_batch_size > 1`` solves the grid in (E-batch) chunks
+    through :meth:`repro.pipeline.TransportPipeline.solve_batch` —
+    stacked assembly and batched RGF kernels — instead of one call per
+    point; the returned rows are numerically equivalent.
+    """
+    energies = [float(e) for e in energies]
     obc_kwargs = kwargs.pop("obc_kwargs", None)
     if obc_kwargs is None and obc_method == "feast":
         obc_kwargs = dict(r_outer=3.0, num_points=8, seed=0)
+    rows = []
+    if int(energy_batch_size) > 1:
+        from repro.pipeline import TransportPipeline
+        pipe = TransportPipeline(obc_method=obc_method, solver=solver,
+                                 num_partitions=num_partitions,
+                                 obc_kwargs=obc_kwargs, **kwargs)
+        cache = pipe.cache(device)
+        b = int(energy_batch_size)
+        for lo in range(0, len(energies), b):
+            chunk = energies[lo:lo + b]
+            for e, res in zip(chunk, pipe.solve_batch(
+                    cache, chunk,
+                    energy_indices=range(lo, lo + len(chunk)))):
+                rows.append((e, res.num_prop_left, res.transmission_lr))
+        return np.asarray(rows)
     for e in energies:
-        res = qtbm_energy_point(device, float(e), obc_method=obc_method,
+        res = qtbm_energy_point(device, e, obc_method=obc_method,
                                 solver=solver,
                                 num_partitions=num_partitions,
                                 obc_kwargs=obc_kwargs, **kwargs)
-        rows.append((float(e), res.num_prop_left, res.transmission_lr))
+        rows.append((e, res.num_prop_left, res.transmission_lr))
     return np.asarray(rows)
 
 

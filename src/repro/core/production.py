@@ -59,6 +59,7 @@ def run_production(structure, basis, num_cells: int, bias_points,
                    scf_kwargs: dict | None = None,
                    temperature_k: float = 300.0,
                    task_runner=None,
+                   energy_batch_size: int = 1,
                    checkpoint=None) -> ProductionResult:
     """Run the full multi-bias production simulation.
 
@@ -74,6 +75,10 @@ def run_production(structure, basis, num_cells: int, bias_points,
         solve of each bias point; when it is a
         :class:`repro.runtime.ResilientTaskRunner`, nodes its telemetry
         quarantines are removed from the balancer's allocation.
+    energy_batch_size : forwarded to the SCF loop and the final
+        transport solve; values > 1 schedule (k, E-batch) units through
+        the batched pipeline.  The balancer feedback is unchanged —
+        batch tasks still emit per-energy stage traces.
     checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
         Persist the sweep after every completed bias point and resume
         from it: completed points (and the balancer's learned work
@@ -109,12 +114,13 @@ def run_production(structure, basis, num_cells: int, bias_points,
             structure, basis, num_cells,
             mu_l=mu_source, mu_r=mu_source - vds,
             e_window=e_window, num_k=num_k, task_runner=task_runner,
-            **kwargs)
+            energy_batch_size=energy_batch_size, **kwargs)
         spec = compute_spectrum(structure, basis, num_cells, energies,
                                 num_k=num_k, obc_method="dense",
                                 solver="rgf",
                                 potential=scf.potential_atom,
-                                task_runner=task_runner)
+                                task_runner=task_runner,
+                                energy_batch_size=energy_batch_size)
         current = spec.current(mu_source, mu_source - vds, temperature_k)
         points.append(BiasPoint(vds=vds, current=current,
                                 scf_iterations=scf.iterations,

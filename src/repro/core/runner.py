@@ -10,7 +10,9 @@ from repro.constants import LANDAUER_2E_OVER_H
 from repro.hamiltonian import build_device, transverse_k_grid
 from repro.negf.density import fermi
 from repro.pipeline import TransportPipeline
-from repro.utils.errors import ConfigurationError, TaskExecutionError
+from repro.runtime.checkpoint import as_store
+from repro.utils.errors import (CheckpointError, ConfigurationError,
+                                TaskExecutionError)
 
 
 @dataclass
@@ -57,7 +59,8 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                      num_k: int = 1, obc_method: str = "feast",
                      solver: str = "splitsolve", num_partitions: int = 1,
                      potential=None, obc_kwargs: dict | None = None,
-                     task_runner=None) -> TransportSpectrum:
+                     task_runner=None, energy_batch_size: int = 1,
+                     checkpoint=None) -> TransportSpectrum:
     """Run the full (k, E) transport loop on a structure.
 
     Parameters
@@ -71,6 +74,23 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         ``task_runner(tasks) -> list`` mapping a list of zero-argument
         callables to their results; hook for the parallel substrate.
         Default: sequential execution.
+    energy_batch_size : int
+        Energies solved per task.  The default of 1 is the per-point
+        path (one :meth:`TransportPipeline.solve_point` per task,
+        unchanged); larger values turn each task into one (k, E-batch)
+        solved through :meth:`TransportPipeline.solve_batch` — stacked
+        assembly and batched RGF kernels that amortize Python/BLAS
+        dispatch across the batch.  Per-energy TaskTraces are still
+        emitted (batch timings apportioned by per-energy flops), so the
+        dynamic load balancer's measured per-k costs and
+        :meth:`TransportSpectrum.measured_time_per_k` work identically.
+    checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
+        Persist transmission/mode-count state at (k, E-batch) unit
+        granularity and resume from it: completed units are restored
+        instead of re-solved (for very long energy grids inside one SCF
+        transport solve).  Restored units contribute to the
+        ``transmission``/``mode_counts`` arrays only — ``results`` and
+        ``traces`` hold just the freshly computed points.
 
     Notes
     -----
@@ -82,6 +102,9 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
     energies = np.asarray(list(energies), dtype=float)
     if energies.size == 0:
         raise ConfigurationError("need at least one energy")
+    if int(energy_batch_size) < 1:
+        raise ConfigurationError("energy_batch_size must be >= 1")
+    batch = int(energy_batch_size)
     kgrid = transverse_k_grid(num_k)
 
     pipe = TransportPipeline(obc_method=obc_method, solver=solver,
@@ -94,29 +117,77 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
             dev = dev.with_potential(potential)
         caches.append(pipe.cache(dev))
 
-    tasks = []
-    for ik, cache in enumerate(caches):
-        for ie, e in enumerate(energies):
-            tasks.append((ik, ie, _make_task(pipe, cache, e, ik, ie)))
+    # The work units: one per (k, E-batch); batch == 1 reproduces the
+    # historical one-task-per-point granularity exactly.
+    units = []
+    for ik in range(len(kgrid)):
+        for lo in range(0, energies.size, batch):
+            units.append((ik, list(range(lo, min(lo + batch,
+                                                 energies.size)))))
 
-    if task_runner is None:
-        outputs = [t() for _, _, t in tasks]
-    else:
-        try:
-            outputs = task_runner([t for _, _, t in tasks])
-        except TaskExecutionError as exc:
-            # translate the runner's flat task index back to the (k, E)
-            # identity so the caller knows which point to re-run
-            if 0 <= exc.task_index < len(tasks):
-                exc.kpoint_index, exc.energy_index, _ = tasks[exc.task_index]
-            raise
-
-    telemetry = getattr(task_runner, "telemetry", None)
     trans = np.zeros((len(kgrid), energies.size))
     counts = np.zeros((len(kgrid), energies.size), dtype=int)
+    done = np.zeros(len(units), dtype=bool)
+    store = as_store(checkpoint)
+    if store is not None and store.exists():
+        done = _restore_spectrum(store, energies, kgrid, batch,
+                                 len(units), trans, counts)
+
+    tasks = []
+    for ui, (ik, ies) in enumerate(units):
+        if done[ui]:
+            continue
+        tasks.append((ui, _make_task(pipe, caches[ik],
+                                     energies[ies], ik, ies)))
+
     results = []
     traces = []
-    for (ik, ie, _), res in zip(tasks, outputs):
+    if task_runner is None:
+        telemetry = None
+        for ui, task in tasks:
+            _absorb_unit(units[ui], task(), trans, counts, results,
+                         traces, None)
+            done[ui] = True
+            if store is not None:
+                _save_spectrum(store, energies, kgrid, batch, done,
+                               trans, counts)
+    else:
+        try:
+            outputs = task_runner([t for _, t in tasks])
+        except TaskExecutionError as exc:
+            # translate the runner's flat task index back to the (k, E)
+            # identity so the caller knows which unit to re-run
+            if 0 <= exc.task_index < len(tasks):
+                ik, ies = units[tasks[exc.task_index][0]]
+                exc.kpoint_index = ik
+                exc.energy_index = ies[0]
+            raise
+        telemetry = getattr(task_runner, "telemetry", None)
+        for (ui, _), out in zip(tasks, outputs):
+            _absorb_unit(units[ui], out, trans, counts, results, traces,
+                         telemetry)
+            done[ui] = True
+        if store is not None and tasks:
+            _save_spectrum(store, energies, kgrid, batch, done, trans,
+                           counts)
+    return TransportSpectrum(energies=energies, kpoints=kgrid,
+                             transmission=trans, mode_counts=counts,
+                             results=results, traces=traces,
+                             telemetry=telemetry)
+
+
+def _make_task(pipe, cache, unit_energies, ik, ies):
+    def task():
+        return pipe.solve_batch(cache, unit_energies, kpoint_index=ik,
+                                energy_indices=ies)
+    return task
+
+
+def _absorb_unit(unit, outputs, trans, counts, results, traces,
+                 telemetry) -> None:
+    """Fold one completed (k, E-batch) unit into the spectrum arrays."""
+    ik, ies = unit
+    for ie, res in zip(ies, outputs):
         trans[ik, ie] = res.transmission_lr
         counts[ik, ie] = res.num_prop_left
         results.append(res)
@@ -124,17 +195,42 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         if telemetry is not None and hasattr(telemetry,
                                              "record_task_trace"):
             telemetry.record_task_trace(res.trace)
-    return TransportSpectrum(energies=energies, kpoints=kgrid,
-                             transmission=trans, mode_counts=counts,
-                             results=results, traces=traces,
-                             telemetry=telemetry)
 
 
-def _make_task(pipe, cache, energy, ik, ie):
-    def task():
-        return pipe.solve_point(cache, energy, kpoint_index=ik,
-                                energy_index=ie)
-    return task
+def _save_spectrum(store, energies, kgrid, batch, done, trans,
+                   counts) -> None:
+    store.save("spectrum", energies=energies, kpoints=kgrid,
+               energy_batch_size=batch, done=done,
+               transmission=trans, mode_counts=counts)
+
+
+def _restore_spectrum(store, energies, kgrid, batch, num_units, trans,
+                      counts) -> np.ndarray:
+    """Load a batch-granular spectrum checkpoint into ``trans``/``counts``.
+
+    Returns the restored done-mask.  The checkpointed grid must match
+    the requested one unit-for-unit (same energies, k-grid, and batch
+    size) — anything else is a different computation.
+    """
+    state = store.load("spectrum")
+    ck_e = np.atleast_1d(np.asarray(state["energies"], dtype=float))
+    ck_k = np.atleast_2d(np.asarray(state["kpoints"], dtype=float))
+    if (ck_e.shape != energies.shape or not np.array_equal(ck_e, energies)
+            or ck_k.shape != kgrid.shape
+            or not np.array_equal(ck_k, kgrid)
+            or int(state["energy_batch_size"]) != batch):
+        raise CheckpointError(
+            "checkpointed spectrum does not match the requested "
+            "(energies, k-grid, energy_batch_size) layout")
+    done = np.atleast_1d(np.asarray(state["done"], dtype=bool))
+    if done.shape != (num_units,):
+        raise CheckpointError(
+            f"checkpoint holds {done.size} units, run has {num_units}")
+    ck_t = np.asarray(state["transmission"], dtype=float)
+    ck_c = np.asarray(state["mode_counts"])
+    trans[...] = ck_t.reshape(trans.shape)
+    counts[...] = ck_c.reshape(counts.shape).astype(int)
+    return done
 
 
 def landauer_current(energies, transmission, mu_l: float, mu_r: float,

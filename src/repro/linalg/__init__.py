@@ -33,6 +33,15 @@ from repro.linalg.kernels import (
     qr_orth,
 )
 from repro.linalg.blocktridiag import BlockTridiagonalMatrix
+from repro.linalg.batched import (
+    BatchedBlockTridiag,
+    build_a_batch,
+    bucket_by_width,
+    gemm_batched,
+    lu_factor_batched,
+    lu_solve_batched,
+    solve_batched,
+)
 
 __all__ = [
     "FlopLedger",
@@ -56,4 +65,11 @@ __all__ = [
     "geig",
     "qr_orth",
     "BlockTridiagonalMatrix",
+    "BatchedBlockTridiag",
+    "build_a_batch",
+    "bucket_by_width",
+    "gemm_batched",
+    "lu_factor_batched",
+    "lu_solve_batched",
+    "solve_batched",
 ]

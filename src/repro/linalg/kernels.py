@@ -102,9 +102,22 @@ def solve(a: np.ndarray, b: np.ndarray, assume_a: str = "gen",
 
 
 def solve_many(a: np.ndarray, bs, assume_a: str = "gen", tag: str = ""):
-    """Solve A x_i = b_i for several right-hand-side blocks, one LU."""
+    """Solve A x_i = b_i for several right-hand-side blocks, one LU.
+
+    All blocks are stacked into a single ``getrs`` call (one triangular
+    solve for the combined rhs width) and the solution is split back —
+    one LU *and* one substitution pass, not one substitution per block.
+    """
+    bs = list(bs)
     fac = lu_factor(a, tag=tag)
-    return [lu_solve(fac, b, tag=tag) for b in bs]
+    if not bs:
+        return []
+    cols = [b[:, None] if b.ndim == 1 else b for b in bs]
+    widths = [c.shape[1] for c in cols]
+    x = lu_solve(fac, np.hstack(cols), tag=tag)
+    splits = np.cumsum(widths)[:-1]
+    return [xi[:, 0] if b.ndim == 1 else xi
+            for b, xi in zip(bs, np.hsplit(x, splits))]
 
 
 def inv(a: np.ndarray, tag: str = "") -> np.ndarray:

@@ -8,6 +8,8 @@ scaling laws used to extrapolate to the paper's structure sizes.
 
 from repro.perfmodel.costmodel import (
     splitsolve_flop_model,
+    rgf_flop_model,
+    rgf_batched_flop_model,
     measure_flops,
     extrapolate_flops,
 )
@@ -20,6 +22,8 @@ from repro.perfmodel.scaling import (
 
 __all__ = [
     "splitsolve_flop_model",
+    "rgf_flop_model",
+    "rgf_batched_flop_model",
     "measure_flops",
     "extrapolate_flops",
     "WeakScalingRow",

@@ -26,7 +26,9 @@ from repro.pipeline.registry import (
     register_solver,
     resolve_solver_name,
 )
-from repro.pipeline.trace import STAGES, StageTrace, TaskTrace, stage_scope
+from repro.pipeline.trace import (STAGES, StageTrace, TaskTrace,
+                                  apportion_exact, batch_stage_scope,
+                                  stage_scope)
 
 __all__ = [
     "AUTO",
@@ -42,6 +44,8 @@ __all__ = [
     "StageTrace",
     "TaskTrace",
     "stage_scope",
+    "batch_stage_scope",
+    "apportion_exact",
     "TransportPipeline",
     "DeviceCache",
     "as_cache",

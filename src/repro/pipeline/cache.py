@@ -50,6 +50,7 @@ class DeviceCache:
         self._s = None
         self._family = None
         self._a_memo = None          # (energy, BlockTridiagonalMatrix)
+        self._a_batch_memo = None    # (energies tuple, BatchedBlockTridiag)
         self._boundary_memo: dict = {}
 
     # -- delegated geometry (so a cache can stand in for the device) -------
@@ -101,6 +102,28 @@ class DeviceCache:
         with self._lock:
             self._a_memo = (e, a)
         return a
+
+    def a_matrix_batch(self, energies):
+        """Stacked A(E) = E*S - H for a whole energy vector, one pass.
+
+        Returns a :class:`~repro.linalg.BatchedBlockTridiag` whose slice
+        ``j`` is bitwise identical to ``a_matrix(energies[j])`` — H and S
+        are fixed per k, so the batch is one broadcast axpy per stored
+        block instead of one per block per energy.  The most recent
+        batch is memoized (retried batches pay nothing).
+        """
+        from repro.linalg.batched import build_a_batch
+        key = tuple(float(e) for e in energies)
+        h = self.h_blocks()
+        s = self.s_blocks()
+        with self._lock:
+            if self._a_batch_memo is not None \
+                    and self._a_batch_memo[0] == key:
+                return self._a_batch_memo[1]
+        batch = build_a_batch(h, s, key)
+        with self._lock:
+            self._a_batch_memo = (key, batch)
+        return batch
 
     def polynomial(self, energy: float):
         """The lead PolynomialEVP at ``energy``, via the shared family."""

@@ -23,10 +23,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg.batched import bucket_by_width
 from repro.negf.transmission import EnergyPointResult, analyze_solution
 from repro.pipeline.cache import DeviceCache, as_cache
 from repro.pipeline.registry import SOLVERS, resolve_solver_name
-from repro.pipeline.trace import TaskTrace, stage_scope
+from repro.pipeline.trace import TaskTrace, batch_stage_scope, stage_scope
 from repro.utils.errors import ConfigurationError
 from repro.utils.timing import StageTimer
 
@@ -122,3 +123,119 @@ class TransportPipeline:
 
         result.trace = trace
         return result
+
+    def solve_batch(self, device, energies, *, kpoint_index: int = -1,
+                    energy_indices=None) -> list:
+        """Run one (k, E-batch) task: all stages for a whole energy vector.
+
+        The batched counterpart of :meth:`solve_point`: OBC mode solves
+        stay per-energy (each is its own eigenproblem), but ASSEMBLE
+        builds the stacked ``A(E) = E*S - H`` in one pass and SOLVE runs
+        the batched RGF sweeps (:func:`repro.solvers.solve_rgf_batched`)
+        once per rhs-width bucket — one Python/BLAS dispatch per block
+        for the whole batch.  Energies are bucketed by injection width
+        (:func:`repro.linalg.bucket_by_width`) so ragged mode counts
+        never force padding.
+
+        One :class:`~repro.pipeline.TaskTrace` is emitted *per energy*;
+        batched stages carve their wall time and flops out of the batch
+        totals proportionally to per-energy flops (exact integer
+        apportionment — ledger reconciliation holds, see
+        :func:`~repro.pipeline.trace.batch_stage_scope`).  The SOLVE
+        stage always uses the batched RGF kernels — the one batched
+        solver implementation — regardless of the per-point ``solver``
+        setting; a single-energy batch degenerates to the per-point path
+        (:meth:`solve_point`) exactly.
+
+        Returns one :class:`EnergyPointResult` per energy, input order.
+        """
+        cache = as_cache(device)
+        energies = [float(e) for e in energies]
+        if not energies:
+            raise ConfigurationError("solve_batch needs at least one energy")
+        if energy_indices is None:
+            energy_indices = list(range(len(energies)))
+        if len(energy_indices) != len(energies):
+            raise ConfigurationError(
+                "energy_indices must match energies one-to-one")
+        if len(energies) == 1:
+            return [self.solve_point(cache, energies[0],
+                                     kpoint_index=kpoint_index,
+                                     energy_index=int(energy_indices[0]))]
+
+        ne = len(energies)
+        traces = [TaskTrace(kpoint_index=kpoint_index,
+                            energy_index=int(ie), energy=e)
+                  for ie, e in zip(energy_indices, energies)]
+
+        with batch_stage_scope(traces, "PREPARE") as sts:
+            cache.warm()
+            for st in sts:
+                st.meta["batch_size"] = ne
+
+        # OBC: one mode eigenproblem per energy — inherently per-point.
+        obs = []
+        for tr, e in zip(traces, energies):
+            with stage_scope(tr, "OBC") as st:
+                ob = cache.boundary(e, self.obc_method, **self.obc_kwargs)
+                st.meta["method"] = ob.method or self.obc_method
+                if ob.modes is None:
+                    raise ConfigurationError(
+                        "QTBM needs lead modes; use a mode-based "
+                        "obc_method")
+            obs.append(ob)
+
+        injs, from_lefts, velss = [], [], []
+        with batch_stage_scope(traces, "ASSEMBLE") as sts:
+            a_batch = cache.a_matrix_batch(energies)
+            for ob, st in zip(obs, sts):
+                inj = ob.injection_matrix(cache.num_blocks,
+                                          cache.block_sizes)
+                injs.append(inj)
+                from_lefts.append(np.array(
+                    [m.from_left for m in ob.injected], dtype=bool))
+                velss.append(np.array(
+                    [abs(m.velocity) for m in ob.injected], dtype=float))
+                st.meta["num_rhs"] = int(inj.shape[1])
+                st.meta["batch_size"] = ne
+
+        # SOLVE: one stacked RGF per rhs-width bucket (no padding).
+        psis = [None] * ne
+        buckets = bucket_by_width([inj.shape[1] for inj in injs])
+        for width, pos in buckets.items():
+            if width == 0:
+                continue   # no propagating modes: nothing to solve
+            with batch_stage_scope([traces[j] for j in pos],
+                                   "SOLVE") as sts:
+                from repro.solvers import (assemble_t_batched,
+                                           solve_rgf_batched)
+                sub = a_batch.take(pos)
+                sigma_l = np.stack([obs[j].sigma_l for j in pos])
+                sigma_r = np.stack([obs[j].sigma_r for j in pos])
+                t_batch = assemble_t_batched(sub, sigma_l, sigma_r)
+                rhs = np.stack([injs[j] for j in pos])
+                x = solve_rgf_batched(t_batch, rhs)
+                for st in sts:
+                    st.meta.update(solver="rgf_batched",
+                                   bucket_size=len(pos), num_rhs=width)
+            for slot, j in enumerate(pos):
+                psis[j] = x[slot]
+
+        results = []
+        for j, (tr, ob) in enumerate(zip(traces, obs)):
+            if psis[j] is None:
+                result = EnergyPointResult(
+                    energy=energies[j], num_prop_left=0, num_prop_right=0,
+                    transmission_lr=0.0, transmission_rl=0.0,
+                    reflection_l=0.0, reflection_r=0.0,
+                    mode_transmissions=np.zeros(0),
+                    psi=np.zeros((cache.num_orbitals, 0), dtype=complex),
+                    from_left=from_lefts[j], velocities=velss[j],
+                    boundary=ob)
+            else:
+                with stage_scope(tr, "ANALYZE"):
+                    result = analyze_solution(cache, ob, psis[j],
+                                              from_lefts[j], velss[j])
+            result.trace = tr
+            results.append(result)
+        return results

@@ -20,6 +20,7 @@ per-task costs to the dynamic load balancer.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -112,3 +113,68 @@ def stage_scope(trace: TaskTrace, name: str, timer: StageTimer | None = None):
         parent.merge(probe)
         st.seconds = float(timer.stages.get(name, 0.0))
         st.flops = int(probe.total_flops)
+
+
+def apportion_exact(total: int, weights) -> list:
+    """Split integer ``total`` proportionally to ``weights``, exactly.
+
+    Largest-remainder rounding: the returned integers sum to ``total``
+    bit-for-bit, which is what keeps batch-stage flop apportionment
+    reconcilable with the surrounding ledger.  Non-positive or empty
+    weight vectors fall back to equal shares.
+    """
+    n = len(weights)
+    if n == 0:
+        return []
+    w = [max(float(x), 0.0) for x in weights]
+    s = sum(w)
+    if s <= 0.0:
+        w = [1.0] * n
+        s = float(n)
+    raw = [total * x / s for x in w]
+    shares = [int(r) for r in raw]
+    rest = int(total) - sum(shares)
+    by_frac = sorted(range(n), key=lambda i: raw[i] - shares[i],
+                     reverse=True)
+    for i in range(rest):
+        shares[by_frac[i % n]] += 1
+    return shares
+
+
+@contextmanager
+def batch_stage_scope(traces, name: str, weights=None):
+    """Run one *batched* stage once for several (k, E) tasks.
+
+    The stage body executes a single time for the whole energy batch
+    under one probe ledger; on exit, one :class:`StageTrace` per task is
+    appended to each ``TaskTrace`` in ``traces``, with the batch wall
+    time and flop total carved up proportionally to ``weights``
+    (per-energy analytic flop counts; equal shares when omitted).  Flop
+    apportionment is exact (:func:`apportion_exact`), so the sum of the
+    per-task stage counts still reconciles with the surrounding ledger.
+
+    Yields the list of per-task :class:`StageTrace` objects so the body
+    can attach ``meta`` entries (batch size, bucket widths, ...).
+    """
+    if weights is None:
+        weights = [1.0] * len(traces)
+    parent = current_ledger()
+    probe = FlopLedger(trace=parent.trace)
+    sts = [StageTrace(name=name) for _ in traces]
+    for tr, st in zip(traces, sts):
+        tr.stages.append(st)
+    t0 = time.perf_counter()
+    try:
+        with ledger_scope(probe):
+            yield sts
+    finally:
+        parent.merge(probe)
+        elapsed = time.perf_counter() - t0
+        wsum = sum(max(float(x), 0.0) for x in weights)
+        if wsum <= 0.0:
+            weights = [1.0] * len(sts)
+            wsum = float(len(sts)) if sts else 1.0
+        flop_shares = apportion_exact(int(probe.total_flops), weights)
+        for st, w, f in zip(sts, weights, flop_shares):
+            st.seconds = elapsed * max(float(w), 0.0) / wsum
+            st.flops = int(f)

@@ -51,6 +51,7 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                          num_k: int = 1,
                          raise_on_divergence: bool = False,
                          task_runner=None,
+                         energy_batch_size: int = 1,
                          checkpoint=None) -> SCFResult:
     """Run the self-consistent Schroedinger-Poisson loop.
 
@@ -68,6 +69,9 @@ def schroedinger_poisson(structure, basis, num_cells: int,
     task_runner : forwarded to :func:`repro.core.runner.compute_spectrum`
         for each inner transport solve (e.g. a
         :class:`repro.runtime.ResilientTaskRunner`).
+    energy_batch_size : forwarded to
+        :func:`repro.core.runner.compute_spectrum`; values > 1 run the
+        inner transport solves through the batched (k, E-batch) path.
     checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
         Persist the loop state after every completed iteration — one
         (k, E) batch — and resume from it when the file already exists.
@@ -125,7 +129,8 @@ def schroedinger_poisson(structure, basis, num_cells: int,
         spectrum = compute_spectrum(structure, basis, num_cells, energies,
                                     num_k=num_k, obc_method=obc_method,
                                     solver=solver, potential=pot,
-                                    task_runner=task_runner)
+                                    task_runner=task_runner,
+                                    energy_batch_size=energy_batch_size)
         # (ii) accumulate density (trapezoid over the energy grid)
         dev = None
         dens_orb = None

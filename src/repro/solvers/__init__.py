@@ -16,19 +16,22 @@ are provided, matching the paper's Fig. 8 comparison:
   inversion (Algorithm 1), and recursive SPIKE merging across partitions.
 """
 
-from repro.solvers.assemble import assemble_t, boundary_rhs
+from repro.solvers.assemble import (assemble_t, assemble_t_batched,
+                                    boundary_rhs)
 from repro.solvers.direct import SparseDirectSolver, solve_direct
-from repro.solvers.rgf import solve_rgf, rgf_greens_blocks
+from repro.solvers.rgf import solve_rgf, solve_rgf_batched, rgf_greens_blocks
 from repro.solvers.bcr import solve_bcr
 from repro.solvers.splitsolve import SplitSolve
 from repro.solvers import dispatch as _dispatch  # registers built-in solvers
 
 __all__ = [
     "assemble_t",
+    "assemble_t_batched",
     "boundary_rhs",
     "SparseDirectSolver",
     "solve_direct",
     "solve_rgf",
+    "solve_rgf_batched",
     "rgf_greens_blocks",
     "solve_bcr",
     "SplitSolve",

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import BlockTridiagonalMatrix
+from repro.linalg.batched import BatchedBlockTridiag
 from repro.utils.errors import ShapeError
 
 
@@ -37,6 +38,38 @@ def assemble_t(a: BlockTridiagonalMatrix, sigma_l: np.ndarray,
         diag,
         [_as_complex(b) for b in a.upper],
         [_as_complex(b) for b in a.lower])
+    t.diag[0] -= sigma_l
+    t.diag[-1] -= sigma_r
+    return t
+
+
+def assemble_t_batched(a: BatchedBlockTridiag, sigma_l: np.ndarray,
+                       sigma_r: np.ndarray) -> BatchedBlockTridiag:
+    """Batched :func:`assemble_t`: fold per-energy self-energy stacks.
+
+    ``sigma_l`` is ``(nE, s1, s1)`` and ``sigma_r`` is ``(nE, s2, s2)``
+    — one boundary pair per energy of the batch.  Only the two corner
+    diagonal stacks are copied; every interior stack is shared with
+    ``a`` (same contract as the per-point assembly).
+    """
+    s1 = a.block_sizes[0]
+    s2 = a.block_sizes[-1]
+    ne = a.batch_size
+    if sigma_l.shape != (ne, s1, s1):
+        raise ShapeError(
+            f"sigma_l stack is {sigma_l.shape}, expected {(ne, s1, s1)}")
+    if sigma_r.shape != (ne, s2, s2):
+        raise ShapeError(
+            f"sigma_r stack is {sigma_r.shape}, expected {(ne, s2, s2)}")
+    diag = [_as_complex(b) for b in a.diag]
+    diag[0] = a.diag[0].astype(complex)
+    if len(diag) > 1:
+        diag[-1] = a.diag[-1].astype(complex)
+    t = BatchedBlockTridiag(
+        diag,
+        [_as_complex(b) for b in a.upper],
+        [_as_complex(b) for b in a.lower],
+        energies=a.energies)
     t.diag[0] -= sigma_l
     t.diag[-1] -= sigma_r
     return t

@@ -3,7 +3,9 @@
 The workhorse of NEGF codes: a backward sweep builds the right-connected
 inverses, a forward substitution recovers the solution.  Also provides the
 Green's-function blocks (diagonal + boundary columns) needed for charge
-and current densities in the NEGF route (Eq. 4).
+and current densities in the NEGF route (Eq. 4), and an energy-batched
+variant (:func:`solve_rgf_batched`) whose sweeps run once over stacked
+blocks for all energies of a batch simultaneously.
 """
 
 from __future__ import annotations
@@ -11,7 +13,14 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import BlockTridiagonalMatrix, gemm, lu_factor, lu_solve
+from repro.linalg.batched import (BatchedBlockTridiag, gemm_batched,
+                                  lu_factor_batched, lu_solve_batched)
 from repro.utils.errors import ShapeError
+
+
+def _as_complex(b: np.ndarray) -> np.ndarray:
+    """complex128 view-or-copy: no copy when the block already is one."""
+    return b if b.dtype == np.complex128 else b.astype(complex)
 
 
 def solve_rgf(t: BlockTridiagonalMatrix, b: np.ndarray,
@@ -30,6 +39,11 @@ def solve_rgf(t: BlockTridiagonalMatrix, b: np.ndarray,
     if squeeze:
         b = b[:, None]
     b = b.astype(complex)
+    # One up-front conversion per coupling block; the sweeps below used
+    # to re-convert t.lower[i]/t.upper[i] on every use (up to three times
+    # per block per call).
+    upper = [_as_complex(u) for u in t.upper]
+    lower = [_as_complex(l) for l in t.lower]
 
     # Backward sweep: Schur-complement factors from the bottom up.
     # schur_i = T_ii - T_{i,i+1} inv(schur_{i+1}) T_{i+1,i}
@@ -40,16 +54,12 @@ def solve_rgf(t: BlockTridiagonalMatrix, b: np.ndarray,
     carry = b[offs[nb - 1]:offs[nb]].copy()
     facs[nb - 1] = lu_factor(schur, tag=tag)
     for i in range(nb - 2, -1, -1):
-        sol = lu_solve(facs[i + 1],
-                       np.hstack([t.lower[i].astype(complex), carry]),
-                       tag=tag)
-        ncol = t.lower[i].shape[1]
+        sol = lu_solve(facs[i + 1], np.hstack([lower[i], carry]), tag=tag)
+        ncol = lower[i].shape[1]
         xi_up[i + 1] = sol[:, :ncol]
         yi[i + 1] = sol[:, ncol:]
-        schur = t.diag[i] - gemm(t.upper[i].astype(complex),
-                                 xi_up[i + 1], tag=tag)
-        carry = b[offs[i]:offs[i + 1]] - gemm(t.upper[i].astype(complex),
-                                              yi[i + 1], tag=tag)
+        schur = t.diag[i] - gemm(upper[i], xi_up[i + 1], tag=tag)
+        carry = b[offs[i]:offs[i + 1]] - gemm(upper[i], yi[i + 1], tag=tag)
         facs[i] = lu_factor(schur, tag=tag)
 
     # Forward substitution.
@@ -64,6 +74,62 @@ def solve_rgf(t: BlockTridiagonalMatrix, b: np.ndarray,
     return x[:, 0] if squeeze else x
 
 
+def solve_rgf_batched(t: BatchedBlockTridiag, b: np.ndarray,
+                      tag: str = "rgf-batched") -> np.ndarray:
+    """Solve T[e] x[e] = b[e] for a whole energy batch in stacked sweeps.
+
+    The same block recursion as :func:`solve_rgf`, but every LU, solve,
+    and gemm runs once over the ``(nE, ...)`` stack — one Python/BLAS
+    dispatch and one ledger record per block instead of one per block
+    *per energy*.  ``b`` is ``(nE, n, m)``: all energies of one call
+    share the rhs width ``m`` (callers bucket ragged widths with
+    :func:`repro.linalg.batched.bucket_by_width`).  Each slice of the
+    result matches the per-point solve to machine precision — the
+    stacked LAPACK routines execute the same factorizations slice by
+    slice.
+    """
+    offs = t.block_offsets()
+    nb = t.num_blocks
+    b = np.asarray(b)
+    if b.ndim != 3:
+        raise ShapeError(f"batched rhs must be (nE, n, m), got {b.shape}")
+    if b.shape[0] != t.batch_size:
+        raise ShapeError(f"rhs batch {b.shape[0]} != matrix batch "
+                         f"{t.batch_size}")
+    if b.shape[1] != offs[-1]:
+        raise ShapeError(f"rhs has {b.shape[1]} rows, matrix {offs[-1]}")
+    b = b.astype(complex)
+    upper = [_as_complex(u) for u in t.upper]
+    lower = [_as_complex(l) for l in t.lower]
+
+    # Backward sweep over stacked Schur complements.
+    facs = [None] * nb
+    xi_up = [None] * nb
+    yi = [None] * nb
+    schur = t.diag[nb - 1].astype(complex)
+    carry = b[:, offs[nb - 1]:offs[nb]].copy()
+    facs[nb - 1] = lu_factor_batched(schur, tag=tag)
+    for i in range(nb - 2, -1, -1):
+        sol = lu_solve_batched(facs[i + 1],
+                               np.concatenate([lower[i], carry], axis=2),
+                               tag=tag)
+        ncol = lower[i].shape[2]
+        xi_up[i + 1] = sol[:, :, :ncol]
+        yi[i + 1] = sol[:, :, ncol:]
+        schur = t.diag[i] - gemm_batched(upper[i], xi_up[i + 1], tag=tag)
+        carry = b[:, offs[i]:offs[i + 1]] - gemm_batched(upper[i], yi[i + 1],
+                                                         tag=tag)
+        facs[i] = lu_factor_batched(schur, tag=tag)
+
+    # Forward substitution, stacked.
+    x = np.empty_like(b)
+    x[:, offs[0]:offs[1]] = lu_solve_batched(facs[0], carry, tag=tag)
+    for i in range(1, nb):
+        x[:, offs[i]:offs[i + 1]] = yi[i] - gemm_batched(
+            xi_up[i], x[:, offs[i - 1]:offs[i]], tag=tag)
+    return x
+
+
 def rgf_greens_blocks(t: BlockTridiagonalMatrix, tag: str = "rgf-g"):
     """Diagonal blocks and boundary block-columns of G = T^{-1}.
 
@@ -73,16 +139,19 @@ def rgf_greens_blocks(t: BlockTridiagonalMatrix, tag: str = "rgf-g"):
     (first/last columns), and transmission (corner blocks).
     """
     nb = t.num_blocks
+    # Convert every block once; the three recursions below reuse them.
+    diag = [_as_complex(d) for d in t.diag]
+    upper = [_as_complex(u) for u in t.upper]
+    lower = [_as_complex(l) for l in t.lower]
     # Right-connected Green's functions gR_i (standard RGF).
     g_right = [None] * nb
-    fac = lu_factor(t.diag[nb - 1].astype(complex), tag=tag)
+    fac = lu_factor(diag[nb - 1], tag=tag)
     g_right[nb - 1] = lu_solve(fac, np.eye(t.block_sizes[-1],
                                            dtype=complex), tag=tag)
     for i in range(nb - 2, -1, -1):
-        tmp = gemm(t.upper[i].astype(complex),
-                   gemm(g_right[i + 1], t.lower[i].astype(complex),
-                        tag=tag), tag=tag)
-        fac = lu_factor(t.diag[i].astype(complex) - tmp, tag=tag)
+        tmp = gemm(upper[i], gemm(g_right[i + 1], lower[i], tag=tag),
+                   tag=tag)
+        fac = lu_factor(diag[i] - tmp, tag=tag)
         g_right[i] = lu_solve(fac, np.eye(t.block_sizes[i], dtype=complex),
                               tag=tag)
 
@@ -94,30 +163,28 @@ def rgf_greens_blocks(t: BlockTridiagonalMatrix, tag: str = "rgf-g"):
     g_first[0] = g_right[0]
     for i in range(1, nb):
         g_first[i] = -gemm(g_right[i],
-                           gemm(t.lower[i - 1].astype(complex),
-                                g_first[i - 1], tag=tag), tag=tag)
+                           gemm(lower[i - 1], g_first[i - 1], tag=tag),
+                           tag=tag)
         # Dyson: G_ii = gR_i + gR_i T_{i,i-1} G_{i-1,i-1} T_{i-1,i} gR_i
-        left = gemm(g_right[i], t.lower[i - 1].astype(complex), tag=tag)
-        right = gemm(t.upper[i - 1].astype(complex), g_right[i], tag=tag)
+        left = gemm(g_right[i], lower[i - 1], tag=tag)
+        right = gemm(upper[i - 1], g_right[i], tag=tag)
         g_diag[i] = g_right[i] + gemm(left, gemm(g_diag[i - 1], right,
                                                  tag=tag), tag=tag)
 
     # Last column by the mirrored recursion using left-connected GFs.
     g_left = [None] * nb
-    fac = lu_factor(t.diag[0].astype(complex), tag=tag)
+    fac = lu_factor(diag[0], tag=tag)
     g_left[0] = lu_solve(fac, np.eye(t.block_sizes[0], dtype=complex),
                          tag=tag)
     for i in range(1, nb):
-        tmp = gemm(t.lower[i - 1].astype(complex),
-                   gemm(g_left[i - 1], t.upper[i - 1].astype(complex),
-                        tag=tag), tag=tag)
-        fac = lu_factor(t.diag[i].astype(complex) - tmp, tag=tag)
+        tmp = gemm(lower[i - 1], gemm(g_left[i - 1], upper[i - 1], tag=tag),
+                   tag=tag)
+        fac = lu_factor(diag[i] - tmp, tag=tag)
         g_left[i] = lu_solve(fac, np.eye(t.block_sizes[i], dtype=complex),
                              tag=tag)
     g_last = [None] * nb
     g_last[nb - 1] = g_diag[nb - 1]
     for i in range(nb - 2, -1, -1):
         g_last[i] = -gemm(g_left[i],
-                          gemm(t.upper[i].astype(complex), g_last[i + 1],
-                               tag=tag), tag=tag)
+                          gemm(upper[i], g_last[i + 1], tag=tag), tag=tag)
     return g_diag, g_first, g_last

@@ -1,0 +1,378 @@
+"""Tests for the energy-batched kernel layer and batched pipeline.
+
+Covers the acceptance invariants of the batching work: stacked-kernel
+numerical equivalence with the per-point loops, exact flop-ledger parity
+between the two paths, ragged-RHS bucketing, batch-size-1 degeneration
+to the per-point path, and the batch-granular scheduling/checkpointing
+in ``compute_spectrum``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import compute_spectrum
+from repro.experiments.fig6_phases import _test_lead
+from repro.hamiltonian import LeadBlocks
+from repro.hamiltonian.device import synthetic_device_from_lead
+from repro.linalg import (
+    BatchedBlockTridiag,
+    bucket_by_width,
+    build_a_batch,
+    gemm_batched,
+    lu_factor_batched,
+    lu_solve_batched,
+    solve_batched,
+)
+from repro.linalg.flops import ledger_scope
+from repro.linalg.kernels import gemm, lu_factor, lu_solve, solve, solve_many
+from repro.perfmodel.costmodel import rgf_batched_flop_model, rgf_flop_model
+from repro.pipeline import TransportPipeline, apportion_exact, batch_stage_scope
+from repro.pipeline.trace import TaskTrace
+from repro.solvers import assemble_t, assemble_t_batched, solve_rgf, \
+    solve_rgf_batched
+from repro.structure import linear_chain
+from repro.utils.errors import (CheckpointError, ConfigurationError,
+                                ShapeError, SingularMatrixError)
+
+from tests.test_hamiltonian import single_s_basis
+
+
+def _stack(rng, ne, m, n):
+    return (rng.standard_normal((ne, m, n))
+            + 1j * rng.standard_normal((ne, m, n)))
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+class TestBatchedKernels:
+    def test_gemm_batched_matches_loop(self, rng):
+        a = _stack(rng, 5, 4, 6)
+        b = _stack(rng, 5, 6, 3)
+        with ledger_scope() as led_b:
+            c = gemm_batched(a, b)
+        with ledger_scope() as led_p:
+            ref = np.stack([gemm(a[j], b[j]) for j in range(5)])
+        np.testing.assert_allclose(c, ref, atol=1e-13)
+        assert led_b.total_flops == led_p.total_flops
+        assert list(led_b.flops_by_kernel) == ["zgemm_batched"]
+
+    def test_lu_factor_solve_batched_match_loop(self, rng):
+        a = _stack(rng, 4, 6, 6) + 6 * np.eye(6)
+        b = _stack(rng, 4, 6, 3)
+        with ledger_scope() as led_b:
+            x = lu_solve_batched(lu_factor_batched(a), b)
+        with ledger_scope() as led_p:
+            ref = np.stack([lu_solve(lu_factor(a[j]), b[j])
+                            for j in range(4)])
+        np.testing.assert_allclose(x, ref, atol=1e-12)
+        np.testing.assert_allclose(a @ x, b, atol=1e-10)
+        # exact ledger parity: one batch record == sum of per-call records
+        assert led_b.total_flops == led_p.total_flops
+        assert led_b.flops_by_kernel["zgetrf_batched"] == \
+            led_p.flops_by_kernel["zgetrf"]
+        assert led_b.flops_by_kernel["zgetrs_batched"] == \
+            led_p.flops_by_kernel["zgetrs"]
+
+    def test_solve_batched_matches_loop(self, rng):
+        a = _stack(rng, 3, 5, 5) + 5 * np.eye(5)
+        b = _stack(rng, 3, 5, 2)
+        with ledger_scope() as led_b:
+            x = solve_batched(a, b)
+        with ledger_scope() as led_p:
+            ref = np.stack([solve(a[j], b[j]) for j in range(3)])
+        np.testing.assert_allclose(x, ref, atol=1e-12)
+        assert led_b.total_flops == led_p.total_flops
+
+    def test_singular_stack_raises(self):
+        a = np.zeros((2, 3, 3), dtype=complex)
+        b = np.ones((2, 3, 1), dtype=complex)
+        with pytest.raises(SingularMatrixError):
+            solve_batched(a, b)
+
+    def test_shape_validation(self, rng):
+        with pytest.raises(ShapeError):
+            gemm_batched(rng.standard_normal((4, 4)),
+                         rng.standard_normal((2, 4, 4)))
+        with pytest.raises(ShapeError):
+            lu_factor_batched(rng.standard_normal((2, 4, 3)))
+        with pytest.raises(ShapeError):
+            solve_batched(_stack(rng, 2, 4, 4), _stack(rng, 3, 4, 1))
+
+
+class TestBatchedContainers:
+    def test_build_a_batch_bitwise(self):
+        lead = _test_lead(5, seed=1)
+        dev = synthetic_device_from_lead(lead, 6)
+        h, s = dev.h_blocks(), dev.s_blocks()
+        energies = [0.3, 1.7, 2.2]
+        batch = build_a_batch(h, s, energies)
+        assert batch.batch_size == 3
+        assert batch.num_blocks == 6
+        for j, e in enumerate(energies):
+            ref = s.scale_add(complex(e), h, -1.0)
+            point = batch.point(j)
+            for bb, rb in zip(point.diag + point.upper + point.lower,
+                              ref.diag + ref.upper + ref.lower):
+                assert np.array_equal(bb, rb)
+
+    def test_take_subsets_energy_axis(self):
+        lead = _test_lead(4, seed=2)
+        dev = synthetic_device_from_lead(lead, 4)
+        batch = build_a_batch(dev.h_blocks(), dev.s_blocks(),
+                              [0.5, 1.0, 1.5, 2.0])
+        sub = batch.take([2, 0])
+        assert sub.batch_size == 2
+        assert np.array_equal(sub.energies, [1.5, 0.5])
+        for bb, rb in zip(sub.point(0).diag, batch.point(2).diag):
+            assert np.array_equal(bb, rb)
+
+    def test_bucket_by_width(self):
+        assert bucket_by_width([4, 2, 4, 0, 2]) == \
+            {4: [0, 2], 2: [1, 4], 0: [3]}
+        assert bucket_by_width([]) == {}
+
+    def test_inconsistent_stack_rejected(self, rng):
+        with pytest.raises(ShapeError):
+            BatchedBlockTridiag([_stack(rng, 2, 3, 3), _stack(rng, 3, 3, 3)],
+                                [_stack(rng, 2, 3, 3)],
+                                [_stack(rng, 2, 3, 3)])
+
+
+class TestBatchedRgf:
+    def _system(self, rng, ne, nb, s, m):
+        diag = _stack(rng, ne, s, s) + 8 * np.eye(s)
+        t = BatchedBlockTridiag(
+            [diag + j * np.eye(s) for j in range(nb)],
+            [_stack(rng, ne, s, s) for _ in range(nb - 1)],
+            [_stack(rng, ne, s, s) for _ in range(nb - 1)])
+        b = _stack(rng, ne, nb * s, m)
+        return t, b
+
+    def test_matches_per_point_rgf(self, rng):
+        t, b = self._system(rng, 4, 5, 3, 2)
+        with ledger_scope() as led_b:
+            x = solve_rgf_batched(t, b)
+        with ledger_scope() as led_p:
+            ref = np.stack([solve_rgf(t.point(j), b[j]) for j in range(4)])
+        np.testing.assert_allclose(x, ref, atol=1e-10)
+        assert led_b.total_flops == led_p.total_flops
+
+    def test_assemble_t_batched_matches_per_point(self, rng):
+        lead = _test_lead(4, seed=5)
+        dev = synthetic_device_from_lead(lead, 5)
+        energies = [1.8, 2.0, 2.3]
+        batch = build_a_batch(dev.h_blocks(), dev.s_blocks(), energies)
+        sl = _stack(rng, 3, 4, 4)
+        sr = _stack(rng, 3, 4, 4)
+        tb = assemble_t_batched(batch, sl, sr)
+        for j in range(3):
+            ref = assemble_t(batch.point(j), sl[j], sr[j])
+            got = tb.point(j)
+            for bb, rb in zip(got.diag + got.upper + got.lower,
+                              ref.diag + ref.upper + ref.lower):
+                assert np.array_equal(bb, rb)
+        # the input batch must be left untouched (shared-cache contract)
+        fresh = build_a_batch(dev.h_blocks(), dev.s_blocks(), energies)
+        for bb, rb in zip(batch.diag, fresh.diag):
+            assert np.array_equal(bb, rb)
+
+    def test_batched_cost_model_sums_per_energy(self):
+        widths = [3, 0, 5, 2]
+        want = sum(rgf_flop_model(7, 4, m) for m in widths if m > 0)
+        assert rgf_batched_flop_model(7, 4, widths) == want
+        assert rgf_batched_flop_model(7, 4, [0, 0]) == 0
+
+
+class TestApportionment:
+    def test_apportion_exact_sums(self):
+        for total, weights in [(100, [1, 2, 3]), (7, [0.3, 0.3, 0.4]),
+                               (5, [0, 0]), (0, [1, 2]), (11, [5])]:
+            shares = apportion_exact(total, weights)
+            assert sum(shares) == total
+            assert all(isinstance(s, int) for s in shares)
+        assert apportion_exact(10, []) == []
+
+    def test_apportion_proportionality(self):
+        assert apportion_exact(100, [1, 3]) == [25, 75]
+
+    def test_batch_stage_scope_reconciles(self, rng):
+        traces = [TaskTrace(energy_index=j) for j in range(3)]
+        a = _stack(rng, 3, 4, 4)
+        with ledger_scope() as led:
+            with batch_stage_scope(traces, "SOLVE",
+                                   weights=[1, 2, 3]) as sts:
+                gemm_batched(a, a)
+                assert len(sts) == 3
+        stage_flops = [tr.stage("SOLVE").flops for tr in traces]
+        assert sum(stage_flops) == led.total_flops
+        assert stage_flops[0] <= stage_flops[1] <= stage_flops[2]
+
+
+def _ragged_lead():
+    """Uncoupled channels with staggered band centers: the injection
+    width genuinely varies across energy (4 rhs mid-band, 2 in the upper
+    band only, 0 above every band)."""
+    h00 = np.diag([2.0, 2.0, 5.0])
+    h01 = -np.eye(3)
+    s00 = np.eye(3)
+    s01 = np.zeros((3, 3))
+    return LeadBlocks(h_cells=[h00, h01], s_cells=[s00, s01],
+                      h00=h00, h01=h01, s00=s00, s01=s01)
+
+
+class TestSolveBatch:
+    def test_matches_solve_point(self):
+        dev = synthetic_device_from_lead(_test_lead(6, seed=3), 8)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(dev)
+        energies = [1.7, 1.9, 2.1, 2.3]
+        ref = [pipe.solve_point(cache, e, energy_index=j)
+               for j, e in enumerate(energies)]
+        got = pipe.solve_batch(cache, energies)
+        for r, g in zip(ref, got):
+            assert abs(r.transmission_lr - g.transmission_lr) <= 1e-10
+            assert r.num_prop_left == g.num_prop_left
+            np.testing.assert_allclose(g.psi, r.psi, atol=1e-10)
+
+    def test_ragged_widths_bucketed(self):
+        dev = synthetic_device_from_lead(_ragged_lead(), 6)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(dev)
+        energies = [2.0, 5.0, 2.05, 8.5]   # widths 4, 2, 4, 0
+        results = pipe.solve_batch(cache, energies)
+        widths = [r.psi.shape[1] for r in results]
+        assert len(set(widths)) == 3 and 0 in widths
+        assert bucket_by_width(widths) == {4: [0, 2], 2: [1], 0: [3]}
+        for j, e in enumerate(energies):
+            ref = pipe.solve_point(cache, e)
+            assert abs(ref.transmission_lr
+                       - results[j].transmission_lr) <= 1e-10
+        # the no-modes energy skips SOLVE/ANALYZE but still has a trace
+        names = [s.name for s in results[3].trace.stages]
+        assert "SOLVE" not in names and "OBC" in names
+        assert results[3].transmission_lr == 0.0
+        # batched points carry the batched solver in their SOLVE meta
+        assert results[0].trace.stage("SOLVE").meta["solver"] == \
+            "rgf_batched"
+        assert results[0].trace.stage("SOLVE").meta["bucket_size"] == 2
+
+    def test_single_energy_degenerates_to_solve_point(self):
+        dev = synthetic_device_from_lead(_test_lead(5, seed=4), 6)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(dev)
+        ref = pipe.solve_point(cache, 2.0, energy_index=0)
+        got = pipe.solve_batch(cache, [2.0], energy_indices=[0])
+        assert len(got) == 1
+        assert np.array_equal(got[0].psi, ref.psi)
+        assert got[0].transmission_lr == ref.transmission_lr
+        assert [s.name for s in got[0].trace.stages] == \
+            [s.name for s in ref.trace.stages]
+
+    def test_trace_flops_reconcile_with_ledger(self):
+        dev = synthetic_device_from_lead(_test_lead(5, seed=6), 6)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(dev)
+        with ledger_scope() as led:
+            results = pipe.solve_batch(cache, [1.8, 2.0, 2.2])
+        assert sum(r.trace.total_flops for r in results) == led.total_flops
+
+    def test_validation(self):
+        dev = synthetic_device_from_lead(_test_lead(4, seed=0), 4)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        with pytest.raises(ConfigurationError):
+            pipe.solve_batch(dev, [])
+        with pytest.raises(ConfigurationError):
+            pipe.solve_batch(dev, [1.0, 2.0], energy_indices=[0])
+
+
+class TestComputeSpectrumBatched:
+    def _args(self):
+        chain = linear_chain(10)
+        return chain, single_s_basis(), 5
+
+    def test_equivalent_to_per_point(self):
+        structure, basis, nc = self._args()
+        es = np.linspace(-1.5, 1.5, 7)
+        ref = compute_spectrum(structure, basis, nc, es,
+                               obc_method="dense", solver="rgf")
+        bat = compute_spectrum(structure, basis, nc, es,
+                               obc_method="dense", solver="rgf",
+                               energy_batch_size=3)
+        assert np.max(np.abs(ref.transmission - bat.transmission)) <= 1e-10
+        assert np.array_equal(ref.mode_counts, bat.mode_counts)
+        assert len(bat.traces) == len(ref.traces) == es.size
+        assert bat.measured_time_per_k().shape == (1,)
+
+    def test_rejects_bad_batch_size(self):
+        structure, basis, nc = self._args()
+        with pytest.raises(ConfigurationError):
+            compute_spectrum(structure, basis, nc, [0.0],
+                             energy_batch_size=0)
+
+    def test_checkpoint_resume_at_batch_granularity(self, tmp_path,
+                                                    monkeypatch):
+        structure, basis, nc = self._args()
+        es = np.linspace(-1.0, 1.0, 6)
+        ck = tmp_path / "spec.npz"
+        ref = compute_spectrum(structure, basis, nc, es,
+                               obc_method="dense", solver="rgf")
+
+        calls = {"n": 0}
+        orig = TransportPipeline.solve_batch
+
+        def flaky(self, cache, energies, **kw):
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise RuntimeError("injected")
+            return orig(self, cache, energies, **kw)
+
+        monkeypatch.setattr(TransportPipeline, "solve_batch", flaky)
+        with pytest.raises(RuntimeError):
+            compute_spectrum(structure, basis, nc, es, obc_method="dense",
+                             solver="rgf", energy_batch_size=3,
+                             checkpoint=ck)
+        monkeypatch.setattr(TransportPipeline, "solve_batch", orig)
+        assert ck.exists()
+        res = compute_spectrum(structure, basis, nc, es, obc_method="dense",
+                               solver="rgf", energy_batch_size=3,
+                               checkpoint=ck)
+        assert np.max(np.abs(ref.transmission - res.transmission)) <= 1e-10
+        # only the second unit was re-solved after the restore
+        assert len(res.results) == 3
+
+    def test_checkpoint_layout_mismatch_raises(self, tmp_path):
+        structure, basis, nc = self._args()
+        es = np.linspace(-1.0, 1.0, 6)
+        ck = tmp_path / "spec.npz"
+        compute_spectrum(structure, basis, nc, es, obc_method="dense",
+                         solver="rgf", energy_batch_size=3, checkpoint=ck)
+        with pytest.raises(CheckpointError):
+            compute_spectrum(structure, basis, nc, es, obc_method="dense",
+                             solver="rgf", energy_batch_size=2,
+                             checkpoint=ck)
+
+
+class TestSolveMany:
+    def test_single_substitution_pass(self, rng):
+        a = rng.standard_normal((6, 6)) + 6 * np.eye(6)
+        bs = [rng.standard_normal(6), rng.standard_normal((6, 3)),
+              rng.standard_normal((6, 1))]
+        with ledger_scope(trace=True) as led:
+            xs = solve_many(a, bs)
+        assert xs[0].shape == (6,)
+        assert xs[1].shape == (6, 3)
+        assert xs[2].shape == (6, 1)
+        for b, x in zip(bs, xs):
+            np.testing.assert_allclose(
+                a @ x, b if b.ndim > 1 else b, atol=1e-10)
+        # one LU + ONE stacked substitution, not one per block
+        kinds = [e.kernel for e in led.events]
+        assert kinds.count("dgetrf") == 1
+        assert kinds.count("dgetrs") == 1
+
+    def test_empty_rhs_list(self, rng):
+        a = rng.standard_normal((4, 4)) + 4 * np.eye(4)
+        assert solve_many(a, []) == []
