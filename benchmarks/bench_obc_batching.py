@@ -1,0 +1,197 @@
+"""Batched open-boundary benchmark: per-energy vs stacked OBC solves.
+
+Times the OBC stage of one k-point's energy grid two ways: one
+:func:`~repro.obc.selfenergy.compute_open_boundary` call per energy
+(one contour factorization, resolvent apply, and Python dispatch per
+point) against :func:`~repro.obc.selfenergy.compute_open_boundary_batch`
+in energy chunks (stacked ``lu_factor_batched``/``lu_solve_batched``
+contour solves over the whole chunk — one dispatch per contour point for
+the batch).  The lock-step batch path is bitwise identical to the
+per-energy one, so the end-to-end transmission deviation between a
+per-point and a batched pipeline sweep is required to be exactly zero.
+
+Also reports the FEAST refinement-iteration counts with and without
+energy-to-energy warm starting (the sequential, round-off-level-deviating
+mode) on the same grid.
+
+Writes ``BENCH_obc_batching.json`` at the repo root.  Run standalone
+(``python benchmarks/bench_obc_batching.py [--smoke]``) or through
+pytest (``pytest benchmarks/bench_obc_batching.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.linalg import ledger_scope
+from repro.obc.selfenergy import (compute_open_boundary,
+                                  compute_open_boundary_batch)
+from repro.pipeline import TransportPipeline
+
+try:
+    from benchmarks.bench_batching import build_benchmark_device
+except ImportError:          # run as a script: benchmarks/ is sys.path[0]
+    from bench_batching import build_benchmark_device
+
+JSON_PATH = Path(__file__).resolve().parent.parent \
+    / "BENCH_obc_batching.json"
+
+SEED = 13
+
+
+def _obc_per_energy(lead, energies, num_points):
+    return [compute_open_boundary(lead, float(e), method="feast",
+                                  seed=SEED, num_points=num_points)
+            for e in energies]
+
+
+def _obc_batched(lead, energies, batch_size, num_points,
+                 warm_start=False):
+    out = []
+    for lo in range(0, len(energies), batch_size):
+        out.extend(compute_open_boundary_batch(
+            lead, [float(e) for e in energies[lo:lo + batch_size]],
+            method="feast", warm_start=warm_start, seed=SEED,
+            num_points=num_points))
+    return out
+
+
+def run(num_blocks: int = 24, block_size: int = 4, num_energies: int = 64,
+        batch_size: int = 16, num_points: int = 12, rounds: int = 5,
+        seed: int = 0) -> dict:
+    """Measure per-energy vs batched OBC solves on one k-point's grid.
+
+    ``num_points`` is the FEAST contour resolution: the contour solves
+    are exactly the stacked part of the batch path, so more points means
+    a larger batched fraction (and a sharper spectral filter).
+    """
+    device = build_benchmark_device(num_blocks, block_size, seed)
+    lead = device.lead
+    energies = np.linspace(1.6, 2.4, num_energies)
+
+    # equivalence + diagnostics pass (untimed, fresh ledgers)
+    with ledger_scope() as led_point:
+        obs_point = _obc_per_energy(lead, energies, num_points)
+    with ledger_scope() as led_batch:
+        obs_batch = _obc_batched(lead, energies, batch_size, num_points)
+    max_dsigma = max(
+        float(np.abs(b.sigma_l - p.sigma_l).max())
+        + float(np.abs(b.sigma_r - p.sigma_r).max())
+        for b, p in zip(obs_batch, obs_point))
+    iters_cold = sum(ob.info["iterations"] for ob in obs_batch)
+    obs_warm = _obc_batched(lead, energies, batch_size, num_points,
+                            warm_start=True)
+    iters_warm = sum(ob.info["iterations"] for ob in obs_warm)
+
+    # end-to-end check: a per-point sweep and a batched sweep on two
+    # independent caches (no shared boundary memo) must agree exactly
+    pipe = TransportPipeline(obc_method="feast", solver="rgf",
+                             obc_kwargs={"seed": SEED})
+    ref = [pipe.solve_point(pipe.cache(device), float(e))
+           for e in energies[:: max(1, num_energies // 8)]]
+    cache_b = pipe.cache(device)
+    bat = []
+    picked = [float(e) for e in energies[:: max(1, num_energies // 8)]]
+    for lo in range(0, len(picked), batch_size):
+        bat.extend(pipe.solve_batch(cache_b, picked[lo:lo + batch_size]))
+    max_dt = max(abs(b.transmission_lr - p.transmission_lr)
+                 for b, p in zip(bat, ref))
+
+    times_point, times_batch = [], []
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        _obc_per_energy(lead, energies, num_points)
+        times_point.append(time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        _obc_batched(lead, energies, batch_size, num_points)
+        times_batch.append(time.perf_counter() - t0)
+
+    med_point = statistics.median(times_point)
+    med_batch = statistics.median(times_batch)
+    return {
+        "device": {"num_blocks": num_blocks, "block_size": block_size,
+                   "seed": seed},
+        "num_energies": num_energies,
+        "energy_batch_size": batch_size,
+        "num_contour_points": num_points,
+        "rounds": rounds,
+        "median_seconds_obc_per_energy": med_point,
+        "median_seconds_obc_batched": med_batch,
+        "obc_speedup": med_point / med_batch,
+        "flops_per_energy": int(led_point.total_flops),
+        "flops_batched": int(led_batch.total_flops),
+        "max_sigma_deviation": max_dsigma,
+        "max_transmission_deviation": float(max_dt),
+        "feast_iterations_cold": int(iters_cold),
+        "feast_iterations_warm": int(iters_warm),
+    }
+
+
+def report(results: dict) -> str:
+    d = results["device"]
+    lines = [
+        "Batched open-boundary benchmark",
+        f"  lead: {d['block_size']} orbitals "
+        f"({d['num_blocks']}-block device), "
+        f"{results['num_energies']} energies, "
+        f"batch size {results['energy_batch_size']}",
+        f"  OBC per-energy : "
+        f"{results['median_seconds_obc_per_energy'] * 1e3:9.2f} ms "
+        f"({results['flops_per_energy']:,d} flop)",
+        f"  OBC batched    : "
+        f"{results['median_seconds_obc_batched'] * 1e3:9.2f} ms "
+        f"({results['flops_batched']:,d} flop)",
+        f"  speedup        : {results['obc_speedup']:.2f}x",
+        f"  max |dSigma|   : {results['max_sigma_deviation']:.3e}",
+        f"  max |dT|       : "
+        f"{results['max_transmission_deviation']:.3e}",
+        f"  FEAST iterations: {results['feast_iterations_cold']} cold, "
+        f"{results['feast_iterations_warm']} warm-started",
+    ]
+    return "\n".join(lines)
+
+
+def write_json(results: dict, path: Path = JSON_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_obc_batching(reportout):
+    """Smoke-scale run asserting the acceptance invariants."""
+    results = run(num_blocks=12, block_size=4, num_energies=24,
+                  batch_size=8, rounds=3)
+    assert results["max_sigma_deviation"] == 0.0
+    assert results["max_transmission_deviation"] == 0.0
+    assert results["flops_per_energy"] == results["flops_batched"]
+    assert results["obc_speedup"] > 1.0
+    assert results["feast_iterations_warm"] <= \
+        results["feast_iterations_cold"]
+    reportout(report(results))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small configuration for CI (seconds, not minutes)")
+    ap.add_argument("--out", type=Path, default=JSON_PATH,
+                    help=f"output JSON path (default {JSON_PATH})")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        results = run(num_blocks=12, block_size=4, num_energies=24,
+                      batch_size=8, rounds=3)
+    else:
+        results = run()
+    print(report(results))
+    path = write_json(results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -74,16 +75,22 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         ``task_runner(tasks) -> list`` mapping a list of zero-argument
         callables to their results; hook for the parallel substrate.
         Default: sequential execution.
-    energy_batch_size : int
+    energy_batch_size : int or "auto"
         Energies solved per task.  The default of 1 is the per-point
         path (one :meth:`TransportPipeline.solve_point` per task,
         unchanged); larger values turn each task into one (k, E-batch)
         solved through :meth:`TransportPipeline.solve_batch` — stacked
-        assembly and batched RGF kernels that amortize Python/BLAS
-        dispatch across the batch.  Per-energy TaskTraces are still
-        emitted (batch timings apportioned by per-energy flops), so the
-        dynamic load balancer's measured per-k costs and
-        :meth:`TransportSpectrum.measured_time_per_k` work identically.
+        OBC/assembly/RGF kernels that amortize Python/BLAS dispatch
+        across the batch.  ``"auto"`` picks the batch size from measured
+        dispatch overhead vs the measured per-energy solve time
+        (:func:`repro.perfmodel.costmodel.suggest_energy_batch_size`,
+        probed on the first k-point's first energy); when resuming from
+        a checkpoint, ``"auto"`` is clamped to the checkpoint's stored
+        batch size so the unit layout always matches.  Per-energy
+        TaskTraces are still emitted (batch timings apportioned by
+        per-energy flops), so the dynamic load balancer's measured
+        per-k costs and :meth:`TransportSpectrum.measured_time_per_k`
+        work identically.
     checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
         Persist transmission/mode-count state at (k, E-batch) unit
         granularity and resume from it: completed units are restored
@@ -102,9 +109,15 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
     energies = np.asarray(list(energies), dtype=float)
     if energies.size == 0:
         raise ConfigurationError("need at least one energy")
-    if int(energy_batch_size) < 1:
-        raise ConfigurationError("energy_batch_size must be >= 1")
-    batch = int(energy_batch_size)
+    if isinstance(energy_batch_size, str):
+        if energy_batch_size != "auto":
+            raise ConfigurationError(
+                'energy_batch_size must be an int >= 1 or "auto"')
+        batch = None
+    else:
+        if int(energy_batch_size) < 1:
+            raise ConfigurationError("energy_batch_size must be >= 1")
+        batch = int(energy_batch_size)
     kgrid = transverse_k_grid(num_k)
 
     pipe = TransportPipeline(obc_method=obc_method, solver=solver,
@@ -117,6 +130,10 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
             dev = dev.with_potential(potential)
         caches.append(pipe.cache(dev))
 
+    store = as_store(checkpoint)
+    if batch is None:
+        batch = _auto_batch_size(pipe, caches[0], energies, store)
+
     # The work units: one per (k, E-batch); batch == 1 reproduces the
     # historical one-task-per-point granularity exactly.
     units = []
@@ -128,7 +145,6 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
     trans = np.zeros((len(kgrid), energies.size))
     counts = np.zeros((len(kgrid), energies.size), dtype=int)
     done = np.zeros(len(units), dtype=bool)
-    store = as_store(checkpoint)
     if store is not None and store.exists():
         done = _restore_spectrum(store, energies, kgrid, batch,
                                  len(units), trans, counts)
@@ -174,6 +190,31 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                              transmission=trans, mode_counts=counts,
                              results=results, traces=traces,
                              telemetry=telemetry)
+
+
+def _auto_batch_size(pipe, cache, energies, store) -> int:
+    """Resolve ``energy_batch_size="auto"`` for one spectrum run.
+
+    Resuming from a checkpoint pins the batch size to the stored unit
+    layout (the done-mask is batch-granular, so any other choice would be
+    a different computation).  Otherwise the first k-point's first energy
+    is solved once as a probe — its OBC/A(E) products stay memoized in
+    the cache, so the real unit covering it pays almost nothing — and the
+    batch size balances that measured per-energy cost against the
+    measured per-call dispatch overhead
+    (:func:`~repro.perfmodel.costmodel.suggest_energy_batch_size`),
+    clamped to the energy-grid length.
+    """
+    if store is not None and store.exists():
+        return max(1, int(store.load("spectrum")["energy_batch_size"]))
+    from repro.perfmodel.costmodel import (measure_dispatch_overhead,
+                                           suggest_energy_batch_size)
+    t0 = time.perf_counter()
+    pipe.solve_point(cache, float(energies[0]))
+    per_energy = max(time.perf_counter() - t0, 1e-9)
+    batch = suggest_energy_batch_size(per_energy,
+                                      measure_dispatch_overhead())
+    return int(min(batch, energies.size))
 
 
 def _make_task(pipe, cache, unit_energies, ik, ies):

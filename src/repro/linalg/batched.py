@@ -250,6 +250,17 @@ def build_a_batch(h: BlockTridiagonalMatrix, s: BlockTridiagonalMatrix,
                                energies=np.real(e).reshape(-1))
 
 
+def adjoint_batched(a: np.ndarray) -> np.ndarray:
+    """Per-slice conjugate transpose of a matrix stack.
+
+    Pure layout (no flops, no ledger record): slice ``e`` of the result is
+    ``a[e].conj().T`` bitwise — conjugation is exact under IEEE-754.
+    """
+    a = np.asarray(a)
+    _check_stack(a, "adjoint_batched")
+    return np.conj(np.transpose(a, (0, 2, 1)))
+
+
 def bucket_by_width(widths) -> dict:
     """Group batch positions by right-hand-side width.
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import geig, lu_factor, lu_solve
+from repro.linalg.batched import lu_factor_batched, lu_solve_batched
 from repro.utils.errors import ConfigurationError, ShapeError
 
 
@@ -268,3 +269,139 @@ class PolynomialFamily:
         e = float(energy)
         coeffs = [(h - e * s).astype(complex) for h, s in self._pairs]
         return PolynomialEVP._from_coeffs(coeffs, e, self.n, self.nbw)
+
+    def at_energies(self, energies) -> list:
+        """One :class:`PolynomialEVP` per energy (input order)."""
+        return [self.at_energy(e) for e in energies]
+
+
+class PolynomialEVPStack:
+    """Same-structure :class:`PolynomialEVP`\\ s stacked along an energy axis.
+
+    One lead solved at an energy batch shares every structural property
+    of the polynomial — only the coefficient values C_m(E) = H_m - E S_m
+    differ.  Stacking those coefficients into ``(nE, n, n)`` arrays turns
+    the per-energy resolvent machinery into batched kernels: for a fixed
+    contour point z_p the reduced factorizations P(z_p; E_i) over all
+    energies become **one** :func:`~repro.linalg.lu_factor_batched` call
+    (the ``zgetrfBatched`` analogue, one exact-sum ledger record per
+    batch), and the companion-reduction resolvent applies become one
+    :func:`~repro.linalg.lu_solve_batched` per contour point.
+
+    Every slice of every result is bitwise identical to the per-energy
+    :class:`PolynomialEVP` path: the stacked LAPACK/BLAS routines execute
+    the same factorizations and products slice by slice.
+    """
+
+    def __init__(self, pevps):
+        pevps = list(pevps)
+        if not pevps:
+            raise ConfigurationError("need at least one PolynomialEVP")
+        n, nbw = pevps[0].n, pevps[0].nbw
+        for p in pevps:
+            if p.n != n or p.nbw != nbw:
+                raise ConfigurationError(
+                    "all stacked PolynomialEVPs must share (n, NBW)")
+        self.pevps = pevps
+        self.n = n
+        self.nbw = nbw
+        self.degree = 2 * nbw
+        self.energies = np.asarray([p.energy for p in pevps], dtype=float)
+        #: coeffs[m] is the (nE, n, n) stack of C_m(E_i).
+        self.coeffs = [np.stack([p.coeffs[m] for p in pevps])
+                       for m in range(self.degree + 1)]
+
+    @property
+    def batch_size(self) -> int:
+        return len(self.pevps)
+
+    @property
+    def size(self) -> int:
+        """NBC: dimension of each linearized pencil."""
+        return self.degree * self.n
+
+    def eval(self, z: complex, idx=None) -> np.ndarray:
+        """Stacked P(z; E) — slice ``i`` equals ``pevps[i].eval(z)``.
+
+        ``idx`` restricts the evaluation to a subset of batch positions
+        (an integer index array), used by lock-step drivers whose active
+        set shrinks as energies converge.
+        """
+        coeffs = self.coeffs if idx is None \
+            else [c[idx] for c in self.coeffs]
+        out = np.zeros_like(coeffs[0])
+        zp = 1.0
+        for c in coeffs:
+            out += zp * c
+            zp *= z
+        return out
+
+    def factor_reduced(self, z: complex, idx=None):
+        """Stacked LU of P(z; E) over the batch: one ``zgetrf_batched``
+        ledger record whose count is the exact sum of the per-energy
+        :meth:`PolynomialEVP.factor_reduced` records."""
+        return lu_factor_batched(self.eval(z, idx=idx), tag="obc-P(z)")
+
+    @staticmethod
+    def slice_factor(factor, i: int):
+        """Energy ``i``'s (lu, piv) out of a stacked factor — bitwise the
+        factor :meth:`PolynomialEVP.factor_reduced` would have built."""
+        lu, piv = factor
+        return lu[i], piv[i]
+
+    @staticmethod
+    def take_factor(factor, idx):
+        """Sub-batch of a stacked factor along the energy axis."""
+        lu, piv = factor
+        idx = np.asarray(idx, dtype=int)
+        return lu[idx], piv[idx]
+
+    def resolvent_apply(self, z: complex, ys: np.ndarray, factor=None,
+                        idx=None) -> np.ndarray:
+        """Stacked x[i] = (z B_i - A_i)^{-1} B_i y[i] at unit-cell cost.
+
+        The batched counterpart of
+        :meth:`PolynomialEVP.resolvent_apply`: ``ys`` is ``(nE, NBC, m)``
+        (all slices share the subspace width ``m``; lock-step callers
+        bucket ragged widths), the Horner elimination runs once over the
+        coefficient stacks, and the single reduced solve goes through
+        :func:`~repro.linalg.lu_solve_batched`.  Slice ``i`` of the
+        result is bitwise identical to the per-energy apply.
+        """
+        m, n = self.degree, self.n
+        ys = np.asarray(ys, dtype=complex)
+        if ys.ndim != 3:
+            raise ShapeError(f"ys must be (nE, NBC, m), got {ys.shape}")
+        if ys.shape[1] != m * n:
+            raise ShapeError(f"ys must have {m * n} rows, got {ys.shape[1]}")
+        coeffs = self.coeffs if idx is None \
+            else [c[idx] for c in self.coeffs]
+        if ys.shape[0] != coeffs[0].shape[0]:
+            raise ShapeError(
+                f"ys batch {ys.shape[0]} != stack batch "
+                f"{coeffs[0].shape[0]}")
+        ncol = ys.shape[2]
+
+        # w = B y: identity blocks except the last, which applies C_M.
+        w = [ys[:, j * n:(j + 1) * n] for j in range(m)]
+        w[m - 1] = coeffs[m] @ w[m - 1]
+
+        # Horner-style backward recurrence, stacked over the batch (see
+        # PolynomialEVP.resolvent_apply for the derivation).
+        rhs = w[m - 1].copy()
+        g = coeffs[m].astype(complex)
+        for j in range(m - 1, 0, -1):
+            g = coeffs[j] + z * g
+            rhs = rhs + g @ w[j - 1]
+
+        fac = factor if factor is not None else self.factor_reduced(z,
+                                                                    idx=idx)
+        x1 = lu_solve_batched(fac, rhs, tag="obc-P(z)-solve")
+
+        x = np.empty((ys.shape[0], m * n, ncol), dtype=complex)
+        x[:, :n] = x1
+        prev = x1
+        for j in range(1, m):
+            prev = z * prev - w[j - 1]
+            x[:, j * n:(j + 1) * n] = prev
+        return x

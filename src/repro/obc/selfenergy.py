@@ -34,17 +34,20 @@ last block row).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.hamiltonian.device import LeadBlocks
-from repro.obc.decimation import sancho_rubio, sigma_from_surface_gf
-from repro.obc.feast import feast_annulus
+from repro.obc.decimation import (sancho_rubio, sancho_rubio_batch,
+                                  sigma_from_surface_gf)
+from repro.obc.feast import feast_annulus, feast_annulus_batch
 from repro.obc.modes import LeadModes, classify_modes, fold_modes, folded_velocity
-from repro.obc.polynomial import PolynomialEVP
+from repro.obc.polynomial import PolynomialEVP, PolynomialEVPStack
 from repro.obc.shift_invert import shift_invert_modes
-from repro.pipeline.registry import OBC_METHODS, register_obc_method
+from repro.pipeline.registry import (OBC_BATCH_METHODS, OBC_METHODS,
+                                     register_obc_batch_method,
+                                     register_obc_method)
 from repro.utils.errors import ConfigurationError
 
 
@@ -71,6 +74,9 @@ class OpenBoundary:
     modes: LeadModes | None       # folded classified modes
     injected: list                # of InjectedMode
     method: str = ""
+    #: solver diagnostics (FEAST iterations, decimation iteration count,
+    #: warm-start flag, ...) — surfaced on the OBC stage trace
+    info: dict = field(default_factory=dict)
 
     @property
     def block_size(self) -> int:
@@ -87,25 +93,29 @@ class OpenBoundary:
     def injection_matrix(self, num_blocks: int, block_sizes,
                          sides: str = "both") -> np.ndarray:
         """Dense Inj of Eq. (5): one column per incoming propagating mode,
-        non-zero only in the first and last block rows (Fig. 4)."""
+        non-zero only in the first and last block rows (Fig. 4).
+
+        Only the first/last block values are computed and scattered into
+        one preallocated (ntot, n_inj) array — no full-length zero column
+        per mode, no ``column_stack`` copy.  The per-mode matvecs are kept
+        as-is (a single stacked gemm would change the round-off), so each
+        column is bitwise what the per-column construction produced.
+        """
         offs = np.concatenate([[0], np.cumsum(block_sizes)])
-        ntot = offs[-1]
-        cols = []
+        ntot = int(offs[-1])
         t10 = self.t01.conj().T
-        for m in self.injected:
-            if m.from_left and sides in ("both", "left"):
-                col = np.zeros(ntot, dtype=complex)
-                val = -t10 @ ((1.0 / m.lam) * m.vector - self.ml @ m.vector)
-                col[offs[0]:offs[1]] = val
-                cols.append(col)
-            elif (not m.from_left) and sides in ("both", "right"):
-                col = np.zeros(ntot, dtype=complex)
-                val = -self.t01 @ (m.lam * m.vector - self.mr @ m.vector)
-                col[offs[-2]:offs[-1]] = val
-                cols.append(col)
-        if not cols:
-            return np.zeros((ntot, 0), dtype=complex)
-        return np.column_stack(cols)
+        picked = [m for m in self.injected
+                  if (m.from_left and sides in ("both", "left"))
+                  or ((not m.from_left) and sides in ("both", "right"))]
+        inj = np.zeros((ntot, len(picked)), dtype=complex)
+        for c, m in enumerate(picked):
+            if m.from_left:
+                inj[offs[0]:offs[1], c] = \
+                    -t10 @ ((1.0 / m.lam) * m.vector - self.ml @ m.vector)
+            else:
+                inj[offs[-2]:offs[-1], c] = \
+                    -self.t01 @ (m.lam * m.vector - self.mr @ m.vector)
+        return inj
 
 
 def boundary_from_modes(lead: LeadBlocks, energy: float,
@@ -204,15 +214,29 @@ def boundary_from_decimation(lead: LeadBlocks, energy: float,
 # :class:`PolynomialEVP`; when omitted they build their own.
 # --------------------------------------------------------------------------
 
+def _boundary_from_eigs(lead: LeadBlocks, energy: float,
+                        pevp: PolynomialEVP, lams, us,
+                        method: str) -> OpenBoundary:
+    """Classify + fold solved lead modes and assemble the OpenBoundary."""
+    modes = classify_modes(pevp, lams, us)
+    folded = fold_modes(modes, lead.nbw)
+    return boundary_from_modes(lead, energy, folded, method=method)
+
+
 def _mode_boundary(lead: LeadBlocks, energy: float, solve_modes,
                    method: str, pevp: PolynomialEVP | None,
                    **kwargs) -> OpenBoundary:
     if pevp is None:
         pevp = PolynomialEVP(lead.h_cells, lead.s_cells, energy)
     lams, us = solve_modes(pevp, **kwargs)
-    modes = classify_modes(pevp, lams, us)
-    folded = fold_modes(modes, lead.nbw)
-    return boundary_from_modes(lead, energy, folded, method=method)
+    return _boundary_from_eigs(lead, energy, pevp, lams, us, method)
+
+
+def _feast_info(res) -> dict:
+    return {"iterations": int(res.iterations),
+            "num_solves": int(res.num_solves),
+            "subspace_size": int(res.subspace_size),
+            "warm_started": bool(res.warm_started)}
 
 
 @register_obc_method("dense", uses_pevp=True)
@@ -228,10 +252,16 @@ def _obc_dense(lead: LeadBlocks, energy: float, *, pevp=None,
 def _obc_feast(lead: LeadBlocks, energy: float, *, pevp=None,
                **kwargs) -> OpenBoundary:
     """The paper's contour solver (Section 3A)."""
+    info: dict = {}
+
     def solve(p, **kw):
         res = feast_annulus(p, **kw)
+        info.update(_feast_info(res))
         return res.lambdas, res.vectors
-    return _mode_boundary(lead, energy, solve, "feast", pevp, **kwargs)
+
+    ob = _mode_boundary(lead, energy, solve, "feast", pevp, **kwargs)
+    ob.info.update(info)
+    return ob
 
 
 @register_obc_method("shift_invert", uses_pevp=True)
@@ -264,3 +294,92 @@ def compute_open_boundary(lead: LeadBlocks, energy: float,
     are forwarded to the underlying solver.
     """
     return OBC_METHODS.get(method)(lead, energy, **kwargs)
+
+
+# --------------------------------------------------------------------------
+# Energy-batched OBC adapters (the pipeline's batched OBC stage).
+#
+# Methods with genuinely stackable kernels register in OBC_BATCH_METHODS;
+# everything else falls back to a per-energy loop through OBC_METHODS in
+# :func:`compute_open_boundary_batch` — same results, no stacking.
+# --------------------------------------------------------------------------
+
+@register_obc_batch_method("feast", uses_pevp=True,
+                           supports_warm_start=True)
+def _obc_feast_batch(lead: LeadBlocks, energies, *, pevps=None,
+                     warm_start: bool = False, **kwargs) -> list:
+    """Batched FEAST: stacked contour factorizations and resolvent applies
+    over the whole energy batch (lock-step, bitwise == per-energy), or a
+    warm-started sequential sweep (``warm_start=True``)."""
+    energies = [float(e) for e in energies]
+    if pevps is None:
+        pevps = [PolynomialEVP(lead.h_cells, lead.s_cells, e)
+                 for e in energies]
+    stack = PolynomialEVPStack(pevps)
+    fres = feast_annulus_batch(stack, warm_start=warm_start, **kwargs)
+    obs = []
+    for pevp, e, res in zip(pevps, energies, fres):
+        ob = _boundary_from_eigs(lead, e, pevp, res.lambdas, res.vectors,
+                                 "feast")
+        ob.info.update(_feast_info(res))
+        obs.append(ob)
+    return obs
+
+
+@register_obc_batch_method("decimation", uses_pevp=False)
+def _obc_decimation_batch(lead: LeadBlocks, energies, *,
+                          eta: float = 1e-8, **kwargs) -> list:
+    """Batched Sancho-Rubio: one (nE, n, n) recursion stack with
+    per-energy convergence masking (bitwise == per-energy)."""
+    energies = [float(e) for e in energies]
+    t00s = np.stack([(e * lead.s00 - lead.h00).astype(complex)
+                     for e in energies])
+    t01s = np.stack([(e * lead.s01 - lead.h01).astype(complex)
+                     for e in energies])
+    gls, grs, iters = sancho_rubio_batch(t00s, t01s, eta=eta, **kwargs)
+    obs = []
+    for j, e in enumerate(energies):
+        sigma_l, sigma_r = sigma_from_surface_gf(gls[j], grs[j], t01s[j])
+        ob = OpenBoundary(energy=e, sigma_l=sigma_l, sigma_r=sigma_r,
+                          t01=t01s[j], ml=None, mr=None, modes=None,
+                          injected=[], method="decimation")
+        ob.info["iterations"] = int(iters[j])
+        obs.append(ob)
+    return obs
+
+
+def compute_open_boundary_batch(lead: LeadBlocks, energies,
+                                method: str = "feast", pevps=None,
+                                warm_start: bool = False,
+                                **kwargs) -> list:
+    """Compute the OBCs of one lead for a whole energy batch.
+
+    Dispatches to the method's :data:`OBC_BATCH_METHODS` entry when one
+    exists (built-ins: ``"feast"`` with stacked contour solves,
+    ``"decimation"`` with the masked recursion stack); other methods loop
+    per energy through the per-point registry — identical results either
+    way.  ``pevps`` optionally provides pre-built per-energy
+    :class:`~repro.obc.polynomial.PolynomialEVP` objects (from a
+    :class:`~repro.pipeline.DeviceCache`'s polynomial family) for
+    mode-based methods.  ``warm_start`` is forwarded only to batch
+    methods that declare ``supports_warm_start`` metadata.
+    """
+    energies = [float(e) for e in energies]
+    if method in OBC_BATCH_METHODS:
+        fn = OBC_BATCH_METHODS.get(method)
+        meta = OBC_BATCH_METHODS.meta(method)
+        kw = dict(kwargs)
+        if meta.get("supports_warm_start"):
+            kw["warm_start"] = warm_start
+        if meta.get("uses_pevp"):
+            kw["pevps"] = pevps
+        return fn(lead, energies, **kw)
+    fn = OBC_METHODS.get(method)
+    uses_pevp = bool(OBC_METHODS.meta(method).get("uses_pevp"))
+    obs = []
+    for j, e in enumerate(energies):
+        if uses_pevp and pevps is not None:
+            obs.append(fn(lead, e, pevp=pevps[j], **kwargs))
+        else:
+            obs.append(fn(lead, e, **kwargs))
+    return obs

@@ -180,6 +180,92 @@ def choose_solver(num_blocks: int, block_size: int, num_rhs: int,
     return "splitsolve" if ss / _device_rate_ratio() <= rgf else "rgf"
 
 
+#: Flop-equivalent price of one Python-level solver dispatch — the fixed
+#: per-task cost (argument marshalling, kernel-launch latency, ledger
+#: bookkeeping) that batching amortizes.  Calibrated as dispatch time
+#: (~tens of microseconds) times a sustained host rate (~GFLOP/s); the
+#: batch-solver choice only needs the order of magnitude.
+DISPATCH_FLOPS_PER_CALL = 5e4
+
+
+def choose_batch_solver(num_blocks: int, block_size: int, rhs_widths,
+                        num_partitions: int = 1, hermitian: bool = False,
+                        dispatch_flops: float | None = None) -> str:
+    """SOLVE-stage choice for one (k, E-batch) bucket (``solver="auto"``).
+
+    Per-energy SplitSolve runs each energy on the accelerators (flops
+    weighted by the GPU/CPU rate ratio) but pays one dispatch *per
+    energy*; the batched RGF sweeps run at host rate but pay a single
+    dispatch for the whole bucket.  As the batch grows the amortized
+    dispatch term tilts the choice towards ``"rgf_batched"`` — the
+    crossover the adaptive-batching tests pin down.
+
+    ``dispatch_flops`` overrides :data:`DISPATCH_FLOPS_PER_CALL` (useful
+    for calibrated values from :func:`measure_dispatch_overhead`).
+    """
+    widths = [int(m) for m in rhs_widths if int(m) > 0]
+    if not widths or num_blocks < 2:
+        return "rgf_batched"
+    d = DISPATCH_FLOPS_PER_CALL if dispatch_flops is None \
+        else float(dispatch_flops)
+    ratio = _device_rate_ratio()
+    ss = sum(splitsolve_flop_model(num_blocks, block_size, m,
+                                   num_partitions=num_partitions,
+                                   hermitian=hermitian) for m in widths)
+    ss_cost = ss / ratio + len(widths) * d
+    rgf_cost = rgf_batched_flop_model(num_blocks, block_size, widths) + d
+    return "splitsolve" if ss_cost <= rgf_cost else "rgf_batched"
+
+
+def measure_dispatch_overhead(repeats: int = 64) -> float:
+    """Measured per-call dispatch overhead (seconds) of one batched kernel.
+
+    Times a 1x2x2 :func:`~repro.linalg.batched.gemm_batched` — arithmetic
+    is negligible, so the minimum over ``repeats`` calls isolates the
+    fixed Python/BLAS/ledger dispatch cost that energy batching
+    amortizes.  Runs under its own ledger so the probe flops never leak
+    into the caller's accounting.
+    """
+    import time
+
+    from repro.linalg.batched import gemm_batched
+
+    a = np.ones((1, 2, 2))
+    best = np.inf
+    with ledger_scope():
+        gemm_batched(a, a)   # warm the dispatch path un-timed
+        for _ in range(max(int(repeats), 1)):
+            t0 = time.perf_counter()
+            gemm_batched(a, a)
+            dt = time.perf_counter() - t0
+            if dt < best:
+                best = dt
+    return float(best)
+
+
+def suggest_energy_batch_size(solve_seconds_per_energy: float,
+                              dispatch_seconds: float | None = None,
+                              target_overhead: float = 0.05,
+                              max_batch: int = 64) -> int:
+    """Smallest energy batch keeping dispatch overhead below target.
+
+    A per-point task pays the dispatch cost once per energy; a batch of
+    ``b`` pays it once for all ``b``, i.e. ``dispatch/b`` per energy.
+    This returns the smallest ``b`` with ``dispatch / b <=
+    target_overhead * solve_seconds_per_energy``, clamped to
+    ``[1, max_batch]`` — energies cheaper than the dispatch itself get a
+    large batch, heavyweight energies that dwarf the dispatch stay near
+    per-point granularity.
+    """
+    if target_overhead <= 0.0:
+        raise ConfigurationError("target_overhead must be positive")
+    if dispatch_seconds is None:
+        dispatch_seconds = measure_dispatch_overhead()
+    per = max(float(solve_seconds_per_energy), 1e-12)
+    b = int(np.ceil(float(dispatch_seconds) / (target_overhead * per)))
+    return int(max(1, min(b, int(max_batch))))
+
+
 def measure_flops(fn, *args, **kwargs):
     """Run ``fn`` under a fresh ledger; return (result, ledger)."""
     with ledger_scope() as led:

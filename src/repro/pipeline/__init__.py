@@ -17,13 +17,16 @@ solve path.
 
 from repro.pipeline.registry import (
     AUTO,
+    OBC_BATCH_METHODS,
     OBC_METHODS,
     SOLVERS,
     Registry,
     get_obc_method,
     get_solver,
+    register_obc_batch_method,
     register_obc_method,
     register_solver,
+    resolve_batch_solver_name,
     resolve_solver_name,
 )
 from repro.pipeline.trace import (STAGES, StageTrace, TaskTrace,
@@ -32,13 +35,16 @@ from repro.pipeline.trace import (STAGES, StageTrace, TaskTrace,
 
 __all__ = [
     "AUTO",
+    "OBC_BATCH_METHODS",
     "OBC_METHODS",
     "SOLVERS",
     "Registry",
     "get_obc_method",
     "get_solver",
+    "register_obc_batch_method",
     "register_obc_method",
     "register_solver",
+    "resolve_batch_solver_name",
     "resolve_solver_name",
     "STAGES",
     "StageTrace",

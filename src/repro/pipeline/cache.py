@@ -125,14 +125,24 @@ class DeviceCache:
             self._a_batch_memo = (key, batch)
         return batch
 
-    def polynomial(self, energy: float):
-        """The lead PolynomialEVP at ``energy``, via the shared family."""
+    def _polynomial_family(self):
         with self._lock:
             if self._family is None:
                 lead = self.device.lead
                 self._family = PolynomialFamily(lead.h_cells, lead.s_cells)
-            family = self._family
-        return family.at_energy(energy)
+            return self._family
+
+    def polynomial(self, energy: float):
+        """The lead PolynomialEVP at ``energy``, via the shared family."""
+        return self._polynomial_family().at_energy(energy)
+
+    def polynomial_batch(self, energies) -> list:
+        """Per-energy PolynomialEVPs for a batch, via the shared family.
+
+        Element ``j`` is bitwise identical to ``polynomial(energies[j])``
+        — same family, same one-axpy-per-coefficient construction.
+        """
+        return self._polynomial_family().at_energies(energies)
 
     def boundary(self, energy: float, method: str, **kwargs):
         """OpenBoundary at (energy, method, kwargs), shared across callers.
@@ -161,6 +171,73 @@ class DeviceCache:
                 self._boundary_memo.setdefault(key, ob)
                 ob = self._boundary_memo[key]
         return ob
+
+    def boundary_batch(self, energies, method: str,
+                       warm_start: bool = False, **kwargs) -> list:
+        """Batched OpenBoundary computation with batch-aware memoization.
+
+        The default (lock-step) batch path is bitwise identical to the
+        per-energy one, so its results share the **per-energy** memo keys
+        of :meth:`boundary`: a batch only recomputes the energies no
+        per-point (or prior-batch) caller has produced yet, and per-point
+        retries after a batch pay nothing.  Warm-started FEAST results
+        depend on the batch composition (each energy is seeded by its
+        predecessor) and differ from the cold path by round-off, so they
+        are memoized under one whole-batch key instead — never aliased
+        with per-energy entries.
+        """
+        energies = [float(e) for e in energies]
+        uses_pevp = bool(OBC_METHODS.meta(method).get("uses_pevp"))
+        try:
+            kw_key = tuple(sorted(kwargs.items()))
+        except TypeError:
+            kw_key = None
+
+        if warm_start:
+            key = None if kw_key is None else \
+                ("batch-warm", tuple(energies), method, kw_key)
+            if key is not None:
+                with self._lock:
+                    if key in self._boundary_memo:
+                        return self._boundary_memo[key]
+            obs = self._compute_boundary_batch(energies, method,
+                                               uses_pevp, True, kwargs)
+            if key is not None:
+                with self._lock:
+                    self._boundary_memo.setdefault(key, obs)
+                    obs = self._boundary_memo[key]
+            return obs
+
+        if len(energies) == 1:
+            return [self.boundary(energies[0], method, **kwargs)]
+        keys = [None if kw_key is None else (e, method, kw_key)
+                for e in energies]
+        have: dict = {}
+        with self._lock:
+            for j, k in enumerate(keys):
+                if k is not None and k in self._boundary_memo:
+                    have[j] = self._boundary_memo[k]
+        missing = [j for j in range(len(energies)) if j not in have]
+        if missing:
+            fresh = self._compute_boundary_batch(
+                [energies[j] for j in missing], method, uses_pevp,
+                False, kwargs)
+            with self._lock:
+                for j, ob in zip(missing, fresh):
+                    k = keys[j]
+                    if k is not None:
+                        self._boundary_memo.setdefault(k, ob)
+                        ob = self._boundary_memo[k]
+                    have[j] = ob
+        return [have[j] for j in range(len(energies))]
+
+    def _compute_boundary_batch(self, energies, method, uses_pevp,
+                                warm_start, kwargs) -> list:
+        from repro.obc.selfenergy import compute_open_boundary_batch
+        pevps = self.polynomial_batch(energies) if uses_pevp else None
+        return compute_open_boundary_batch(
+            self.device.lead, energies, method=method, pevps=pevps,
+            warm_start=warm_start, **kwargs)
 
 
 def as_cache(device_or_cache) -> DeviceCache:

@@ -26,7 +26,8 @@ import numpy as np
 from repro.linalg.batched import bucket_by_width
 from repro.negf.transmission import EnergyPointResult, analyze_solution
 from repro.pipeline.cache import DeviceCache, as_cache
-from repro.pipeline.registry import SOLVERS, resolve_solver_name
+from repro.pipeline.registry import (SOLVERS, resolve_batch_solver_name,
+                                     resolve_solver_name)
 from repro.pipeline.trace import TaskTrace, batch_stage_scope, stage_scope
 from repro.utils.errors import ConfigurationError
 from repro.utils.timing import StageTimer
@@ -42,12 +43,17 @@ class TransportPipeline:
 
     def __init__(self, obc_method: str = "feast",
                  solver: str = "splitsolve", num_partitions: int = 1,
-                 parallel: bool = False, obc_kwargs: dict | None = None):
+                 parallel: bool = False, obc_kwargs: dict | None = None,
+                 obc_warm_start: bool = False):
         self.obc_method = obc_method
         self.solver = solver
         self.num_partitions = num_partitions
         self.parallel = parallel
         self.obc_kwargs = dict(obc_kwargs or {})
+        #: warm-start the batched OBC stage (FEAST seeded energy-to-energy;
+        #: fewer refinement iterations, round-off-level deviations from the
+        #: default lock-step mode, which is bitwise == per-energy)
+        self.obc_warm_start = bool(obc_warm_start)
 
     def cache(self, device) -> DeviceCache:
         """A per-k cache for ``device`` (reuse it across energies)."""
@@ -128,10 +134,13 @@ class TransportPipeline:
                     energy_indices=None) -> list:
         """Run one (k, E-batch) task: all stages for a whole energy vector.
 
-        The batched counterpart of :meth:`solve_point`: OBC mode solves
-        stay per-energy (each is its own eigenproblem), but ASSEMBLE
-        builds the stacked ``A(E) = E*S - H`` in one pass and SOLVE runs
-        the batched RGF sweeps (:func:`repro.solvers.solve_rgf_batched`)
+        The batched counterpart of :meth:`solve_point`: the OBC stage
+        solves the whole batch at once (stacked FEAST contour
+        factorizations / masked decimation stacks via
+        :meth:`DeviceCache.boundary_batch`; bitwise identical to the
+        per-energy path unless ``obc_warm_start``), ASSEMBLE builds the
+        stacked ``A(E) = E*S - H`` in one pass, and SOLVE runs the
+        batched RGF sweeps (:func:`repro.solvers.solve_rgf_batched`)
         once per rhs-width bucket — one Python/BLAS dispatch per block
         for the whole batch.  Energies are bucketed by injection width
         (:func:`repro.linalg.bucket_by_width`) so ragged mode counts
@@ -139,13 +148,15 @@ class TransportPipeline:
 
         One :class:`~repro.pipeline.TaskTrace` is emitted *per energy*;
         batched stages carve their wall time and flops out of the batch
-        totals proportionally to per-energy flops (exact integer
-        apportionment — ledger reconciliation holds, see
-        :func:`~repro.pipeline.trace.batch_stage_scope`).  The SOLVE
-        stage always uses the batched RGF kernels — the one batched
-        solver implementation — regardless of the per-point ``solver``
-        setting; a single-energy batch degenerates to the per-point path
-        (:meth:`solve_point`) exactly.
+        totals (exact integer apportionment — ledger reconciliation
+        holds, see :func:`~repro.pipeline.trace.batch_stage_scope`; the
+        OBC stage weighs energies by solver iteration counts).  Explicit
+        ``solver`` names run each bucket through the batched RGF kernels
+        — the one batched solver implementation — while ``"auto"``
+        prices each bucket through
+        :func:`~repro.perfmodel.costmodel.choose_batch_solver` and may
+        run it as per-energy SplitSolve instead; a single-energy batch
+        degenerates to the per-point path (:meth:`solve_point`) exactly.
 
         Returns one :class:`EnergyPointResult` per energy, input order.
         """
@@ -173,17 +184,26 @@ class TransportPipeline:
             for st in sts:
                 st.meta["batch_size"] = ne
 
-        # OBC: one mode eigenproblem per energy — inherently per-point.
-        obs = []
-        for tr, e in zip(traces, energies):
-            with stage_scope(tr, "OBC") as st:
-                ob = cache.boundary(e, self.obc_method, **self.obc_kwargs)
+        # OBC: one batched computation for the whole energy batch — stacked
+        # contour factorizations (FEAST) or masked recursion stacks
+        # (decimation); methods without a batch implementation loop
+        # per-energy inside the same scope.  Per-energy stage traces are
+        # carved from the batch totals by solver iteration counts
+        # (post-hoc weights; exact flop apportionment).
+        with batch_stage_scope(traces, "OBC") as sts:
+            obs = cache.boundary_batch(energies, self.obc_method,
+                                       warm_start=self.obc_warm_start,
+                                       **self.obc_kwargs)
+            for ob, st in zip(obs, sts):
                 st.meta["method"] = ob.method or self.obc_method
+                st.meta["batch_size"] = ne
+                st.meta["weight"] = float(ob.info.get("iterations", 1))
+                if self.obc_warm_start:
+                    st.meta["warm_start"] = True
                 if ob.modes is None:
                     raise ConfigurationError(
                         "QTBM needs lead modes; use a mode-based "
                         "obc_method")
-            obs.append(ob)
 
         injs, from_lefts, velss = [], [], []
         with batch_stage_scope(traces, "ASSEMBLE") as sts:
@@ -199,24 +219,41 @@ class TransportPipeline:
                 st.meta["num_rhs"] = int(inj.shape[1])
                 st.meta["batch_size"] = ne
 
-        # SOLVE: one stacked RGF per rhs-width bucket (no padding).
+        # SOLVE: one stacked RGF per rhs-width bucket (no padding), unless
+        # "auto" prices the bucket onto per-energy SplitSolve (the
+        # accelerator path of the paper's division of labour).
         psis = [None] * ne
         buckets = bucket_by_width([inj.shape[1] for inj in injs])
         for width, pos in buckets.items():
             if width == 0:
                 continue   # no propagating modes: nothing to solve
+            name = resolve_batch_solver_name(
+                self.solver, num_blocks=cache.num_blocks,
+                block_size=int(max(cache.block_sizes)),
+                rhs_widths=[width] * len(pos),
+                num_partitions=self.num_partitions)
             with batch_stage_scope([traces[j] for j in pos],
                                    "SOLVE") as sts:
-                from repro.solvers import (assemble_t_batched,
-                                           solve_rgf_batched)
-                sub = a_batch.take(pos)
-                sigma_l = np.stack([obs[j].sigma_l for j in pos])
-                sigma_r = np.stack([obs[j].sigma_r for j in pos])
-                t_batch = assemble_t_batched(sub, sigma_l, sigma_r)
-                rhs = np.stack([injs[j] for j in pos])
-                x = solve_rgf_batched(t_batch, rhs)
+                if name == "rgf_batched":
+                    from repro.solvers import (assemble_t_batched,
+                                               solve_rgf_batched)
+                    sub = a_batch.take(pos)
+                    sigma_l = np.stack([obs[j].sigma_l for j in pos])
+                    sigma_r = np.stack([obs[j].sigma_r for j in pos])
+                    t_batch = assemble_t_batched(sub, sigma_l, sigma_r)
+                    rhs = np.stack([injs[j] for j in pos])
+                    x = solve_rgf_batched(t_batch, rhs)
+                else:
+                    solver_fn = SOLVERS.get(name)
+                    x = []
+                    for j in pos:
+                        info: dict = {}
+                        x.append(solver_fn(
+                            a_batch.point(j), obs[j], injs[j],
+                            num_partitions=self.num_partitions,
+                            parallel=self.parallel, info=info))
                 for st in sts:
-                    st.meta.update(solver="rgf_batched",
+                    st.meta.update(solver=name,
                                    bucket_size=len(pos), num_rhs=width)
             for slot, j in enumerate(pos):
                 psis[j] = x[slot]

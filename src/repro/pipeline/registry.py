@@ -104,10 +104,16 @@ class Registry:
         return f"Registry({self.kind!r}, entries={self.names()})"
 
 
-#: The two pipeline registries.  Built-in entries are registered by
+#: The pipeline registries.  Built-in entries are registered by
 #: :mod:`repro.solvers.dispatch` and :mod:`repro.obc.selfenergy`.
 SOLVERS = Registry("solver")
 OBC_METHODS = Registry("OBC method")
+
+#: Batched OBC implementations: callables ``fn(lead, energies, **kwargs)
+#: -> list[OpenBoundary]`` solving a whole energy batch in stacked kernels.
+#: Methods without an entry fall back to a per-energy loop through
+#: ``OBC_METHODS`` (see ``compute_open_boundary_batch``).
+OBC_BATCH_METHODS = Registry("batched OBC method")
 
 
 def register_solver(name: str, *, overwrite: bool = False, **meta):
@@ -118,6 +124,17 @@ def register_solver(name: str, *, overwrite: bool = False, **meta):
 def register_obc_method(name: str, *, overwrite: bool = False, **meta):
     """Decorator: add a boundary method to the pipeline's OBC stage."""
     return OBC_METHODS.register(name, overwrite=overwrite, **meta)
+
+
+def register_obc_batch_method(name: str, *, overwrite: bool = False,
+                              **meta):
+    """Decorator: add an energy-batched boundary method.
+
+    ``name`` should match a per-point ``OBC_METHODS`` entry; the batched
+    pipeline path prefers the batch implementation and falls back to the
+    per-point one, energy by energy, when none is registered.
+    """
+    return OBC_BATCH_METHODS.register(name, overwrite=overwrite, **meta)
 
 
 def get_solver(name: str):
@@ -143,3 +160,29 @@ def resolve_solver_name(name: str, *, num_blocks: int, block_size: int,
                              hermitian=hermitian)
     SOLVERS.get(name)
     return name
+
+
+def resolve_batch_solver_name(name: str, *, num_blocks: int,
+                              block_size: int, rhs_widths,
+                              num_partitions: int = 1,
+                              hermitian: bool = False) -> str:
+    """Resolve the SOLVE implementation for one (k, E-batch) bucket.
+
+    Explicit solver names keep the energy-batched semantics: the bucket
+    runs through the batched RGF sweeps (the one batched solver
+    implementation), exactly as before — after a registry existence check
+    so a typo still fails early.  ``"auto"`` instead prices the bucket
+    through :func:`repro.perfmodel.costmodel.choose_batch_solver`: the sum
+    of per-energy SplitSolve models (GPU rate, one dispatch per energy)
+    against the batched RGF model (host rate, one dispatch per bucket) —
+    returning either ``"rgf_batched"`` or ``"splitsolve"``.
+    """
+    if name != AUTO:
+        SOLVERS.get(name)
+        return "rgf_batched"
+    from repro.perfmodel.costmodel import choose_batch_solver
+    return choose_batch_solver(num_blocks=num_blocks,
+                               block_size=block_size,
+                               rhs_widths=rhs_widths,
+                               num_partitions=num_partitions,
+                               hermitian=hermitian)

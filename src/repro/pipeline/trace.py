@@ -154,7 +154,12 @@ def batch_stage_scope(traces, name: str, weights=None):
     per-task stage counts still reconciles with the surrounding ledger.
 
     Yields the list of per-task :class:`StageTrace` objects so the body
-    can attach ``meta`` entries (batch size, bucket widths, ...).
+    can attach ``meta`` entries (batch size, bucket widths, ...).  Some
+    carving weights only become known *inside* the stage — e.g. the OBC
+    stage learns each energy's FEAST/decimation iteration count from the
+    solver results — so if the body sets ``st.meta["weight"]`` on every
+    yielded trace, those post-hoc weights override the ``weights``
+    argument (apportionment stays exact either way).
     """
     if weights is None:
         weights = [1.0] * len(traces)
@@ -170,6 +175,9 @@ def batch_stage_scope(traces, name: str, weights=None):
     finally:
         parent.merge(probe)
         elapsed = time.perf_counter() - t0
+        posthoc = [st.meta.get("weight") for st in sts]
+        if sts and all(w is not None for w in posthoc):
+            weights = posthoc
         wsum = sum(max(float(x), 0.0) for x in weights)
         if wsum <= 0.0:
             weights = [1.0] * len(sts)
