@@ -1,0 +1,145 @@
+#!/usr/bin/env python
+"""Bench-regression gate: diff fresh BENCH_*.json against baselines.
+
+Compares the benchmark JSON files a run just produced (repo root by
+default) against the committed references in ``benchmarks/baselines/``
+and fails with a non-zero exit code when a guarded quantity regressed:
+
+* **bitwise fields** (``flops_*``) must match the baseline exactly when
+  the run used the baseline's configuration — the batched kernels claim
+  flop-identical execution, so any drift is a correctness bug, not
+  noise;
+* **deviation fields** (``max_*_deviation``) must stay within
+  ``max(baseline, 1e-12)`` at any configuration;
+* **speedup fields** must reach ``baseline * (1 - tol)`` under the
+  baseline configuration (wall-clock is hardware-noisy, so ``tol``
+  defaults to 0.5) and stay above ``--min-speedup`` otherwise;
+* raw seconds are reported but never gated (different machines).
+
+A fresh file whose configuration (device geometry, energy count, batch
+size) differs from the baseline — e.g. a CI ``--smoke`` run — is held
+only to the scale-free invariants: deviations, flop equality between
+the per-point and batched paths, and the minimum speedup.
+
+Run:  python benchmarks/check_regression.py [--tol 0.5] [--min-speedup 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+BASELINE_DIR = Path(__file__).resolve().parent / "baselines"
+
+#: per-file config keys that must match for the full (baseline) gate
+CONFIG_KEYS = ("device", "num_energies", "energy_batch_size",
+               "num_contour_points")
+#: absolute floor for deviation comparisons (round-off scale)
+DEVIATION_FLOOR = 1e-12
+
+
+def _config(results: dict) -> dict:
+    return {k: results[k] for k in CONFIG_KEYS if k in results}
+
+
+def _pairs(results: dict, suffix: str):
+    return [(k, v) for k, v in results.items() if k.endswith(suffix)
+            or k.startswith(suffix)]
+
+
+def check_file(fresh: dict, base: dict, tol: float,
+               min_speedup: float) -> list:
+    """Return a list of failure strings (empty == pass)."""
+    failures = []
+    same_config = _config(fresh) == _config(base)
+
+    # scale-free invariants, gated at ANY configuration -----------------
+    for key, value in fresh.items():
+        if "deviation" in key:
+            limit = max(float(base.get(key, 0.0)), DEVIATION_FLOOR)
+            if float(value) > limit:
+                failures.append(
+                    f"{key}: {value:.3e} exceeds {limit:.3e}")
+    fp = fresh.get("flops_per_point", fresh.get("flops_per_energy"))
+    fb = fresh.get("flops_batched")
+    if fp is not None and fb is not None and int(fp) != int(fb):
+        failures.append(
+            f"flops per-point ({fp}) != flops batched ({fb}); the "
+            f"batched path must be flop-identical")
+    for key, value in fresh.items():
+        if "speedup" in key and float(value) < min_speedup:
+            failures.append(
+                f"{key}: {value:.3f} below the {min_speedup:.2f} floor")
+
+    if not same_config:
+        return failures      # smoke configs skip the baseline diffs
+
+    # full gate against the committed baseline --------------------------
+    for key, value in fresh.items():
+        if key.startswith("flops") and key in base:
+            if int(value) != int(base[key]):
+                failures.append(
+                    f"{key}: {value} != baseline {base[key]} "
+                    f"(bitwise flop accounting drifted)")
+        if "speedup" in key and key in base:
+            floor = float(base[key]) * (1.0 - tol)
+            if float(value) < floor:
+                failures.append(
+                    f"{key}: {value:.3f} regressed below "
+                    f"{floor:.3f} (baseline {base[key]:.3f}, "
+                    f"tol {tol:.0%})")
+    return failures
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--fresh-dir", type=Path, default=ROOT,
+                    help="directory holding the fresh BENCH_*.json "
+                         "(default: repo root)")
+    ap.add_argument("--baseline-dir", type=Path, default=BASELINE_DIR)
+    ap.add_argument("--tol", type=float, default=0.5,
+                    help="relative speedup tolerance vs baseline "
+                         "(default 0.5 — wall clock is noisy)")
+    ap.add_argument("--min-speedup", type=float, default=1.0,
+                    help="absolute floor every speedup must clear "
+                         "(default 1.0: batching must not slow down)")
+    args = ap.parse_args(argv)
+
+    baselines = sorted(args.baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"no baselines in {args.baseline_dir}", file=sys.stderr)
+        return 2
+
+    bad = 0
+    for base_path in baselines:
+        fresh_path = args.fresh_dir / base_path.name
+        if not fresh_path.exists():
+            print(f"  SKIP {base_path.name}: no fresh run at "
+                  f"{fresh_path}")
+            continue
+        fresh = json.loads(fresh_path.read_text())
+        base = json.loads(base_path.read_text())
+        mode = "full" if _config(fresh) == _config(base) else \
+            "invariants-only (config differs)"
+        failures = check_file(fresh, base, args.tol, args.min_speedup)
+        seconds = {k: v for k, v in fresh.items()
+                   if "seconds" in k}
+        status = "FAIL" if failures else "OK"
+        print(f"  {status} {base_path.name} [{mode}]")
+        for k, v in sorted(seconds.items()):
+            print(f"         {k} = {v:.4g} s (informational)")
+        for f in failures:
+            print(f"     !! {f}")
+        bad += bool(failures)
+    if bad:
+        print(f"{bad} benchmark file(s) regressed", file=sys.stderr)
+        return 1
+    print("benchmark regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,15 +24,18 @@ def telemetry_section():
     """A small fault-protected (k, E) run with full stage telemetry.
 
     Exercises the production wiring end to end: staged pipeline traces,
-    resilient retries, and the measured per-k costs the dynamic load
-    balancer consumes.
+    resilient retries, the measured per-k costs the dynamic load
+    balancer consumes — and the cross-runner telemetry merge: two
+    independent resilient runners (disjoint halves of the energy grid,
+    as two sub-communicators would split it) report one coherent total
+    through :meth:`repro.runtime.RunTelemetry.merge`.
     """
     from repro.basis import tight_binding_set
     from repro.core.energygrid import lead_band_structure
     from repro.core.runner import compute_spectrum
     from repro.hamiltonian import build_device
     from repro.parallel import ThreadTaskRunner
-    from repro.runtime import ResilientTaskRunner
+    from repro.runtime import ResilientTaskRunner, RunTelemetry
     from repro.structure import silicon_nanowire
 
     wire = silicon_nanowire(diameter_nm=1.0, length_cells=4)
@@ -41,17 +44,27 @@ def telemetry_section():
     e_lo = float(bands.min())
     energies = np.linspace(e_lo + 0.1, e_lo + 1.2, 6)
 
-    runner = ResilientTaskRunner(ThreadTaskRunner(num_workers=2),
-                                 max_retries=1)
-    spec = compute_spectrum(wire, tight_binding_set(), 4, energies,
-                            obc_method="dense", solver="rgf",
-                            task_runner=runner)
-    lines = ["Run telemetry — staged (k, E) pipeline under the resilient "
-             "runner"]
-    lines.append(runner.telemetry.summary())
-    per_k = spec.measured_time_per_k()
+    runners = [ResilientTaskRunner(ThreadTaskRunner(num_workers=2),
+                                   max_retries=1) for _ in range(2)]
+    halves = [energies[:3], energies[3:]]
+    per_k_ms = []
+    for runner, chunk in zip(runners, halves):
+        spec = compute_spectrum(wire, tight_binding_set(), 4, chunk,
+                                obc_method="dense", solver="rgf",
+                                task_runner=runner)
+        per_k_ms.extend(spec.measured_time_per_k() * 1e3)
+    merged = RunTelemetry()
+    for runner in runners:
+        merged.merge(runner.telemetry)
+
+    lines = ["Run telemetry — staged (k, E) pipeline, two resilient "
+             "runners merged"]
+    lines.append(merged.summary())
     lines.append("  measured time per k-point (load-balancer input): "
-                 + ", ".join(f"{t * 1e3:.1f} ms" for t in per_k))
+                 + ", ".join(f"{t:.1f} ms" for t in per_k_ms))
+    lines.append(f"  merged from {len(runners)} runners: "
+                 + ", ".join(f"{r.telemetry.tasks_submitted} tasks"
+                             for r in runners))
     return "\n".join(lines)
 
 

@@ -1,10 +1,13 @@
-"""Command-line entry point: list and run the paper's experiments.
+"""Command-line entry point: experiments, traced runs, span reports.
 
 Usage::
 
     python -m repro list
     python -m repro run fig5
     python -m repro run all
+    python -m repro trace --out trace.json --jsonl spans.jsonl
+    python -m repro report spans.jsonl
+    python -m repro report --checkpoint sweep.npz
 """
 
 from __future__ import annotations
@@ -23,7 +26,35 @@ def main(argv=None) -> int:
     sub.add_parser("list", help="list available experiments")
     runp = sub.add_parser("run", help="run one experiment (or 'all')")
     runp.add_argument("name", help="experiment id from 'list', or 'all'")
+
+    tracep = sub.add_parser(
+        "trace", help="run the traced production demo and export a "
+                      "Perfetto/Chrome trace")
+    tracep.add_argument("--out", default="trace.json",
+                        help="Chrome-trace JSON path (default trace.json)")
+    tracep.add_argument("--jsonl", default=None,
+                        help="also write the raw span JSONL event log")
+    tracep.add_argument("--nodes", type=int, default=2,
+                        help="simulated nodes (one Perfetto track group "
+                             "each; default 2)")
+    tracep.add_argument("--smoke", action="store_true",
+                        help="shrink to one bias point / one SCF "
+                             "iteration (CI budget)")
+
+    reportp = sub.add_parser(
+        "report", help="re-derive the phase/activity reports from a span "
+                       "JSONL export or a checkpoint's telemetry")
+    reportp.add_argument("spans", nargs="?", default=None,
+                         help="span JSONL file from 'trace --jsonl'")
+    reportp.add_argument("--checkpoint", default=None,
+                         help="print the telemetry snapshot stored in a "
+                              "checkpoint file instead")
     args = parser.parse_args(argv)
+
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "report":
+        return _cmd_report(args)
 
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -45,6 +76,84 @@ def main(argv=None) -> int:
         print(mod.report(results))
         _report_telemetry(results)
         print(f"[{name}: {time.perf_counter() - t0:.1f} s]\n")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    from repro.observability import (activity_report, node_activity,
+                                     phase_report, roofline_report,
+                                     validate_chrome_trace)
+    from repro.observability.demo import traced_production_demo
+
+    t0 = time.perf_counter()
+    demo = traced_production_demo(num_nodes=args.nodes, smoke=args.smoke,
+                                  trace_path=args.out,
+                                  jsonl_path=args.jsonl)
+    elapsed = time.perf_counter() - t0
+
+    print(demo["result"].iv_table())
+    print()
+    print(phase_report(demo["totals"]))
+    print()
+    print(activity_report(node_activity(demo["spans"])))
+    print()
+    print(roofline_report(demo["roofline"], device_name="Titan K20X"))
+    print()
+    print("run telemetry:")
+    print(demo["telemetry"].summary())
+    print()
+    print("metrics:")
+    for row in demo["metrics"].as_rows():
+        print("  " + row)
+    print()
+    check = demo["reconciliation"]
+    print(f"reconciliation: flops "
+          f"{'EXACT' if check['flops_exact'] else 'MISMATCH'} "
+          f"({check['span_flops']:,d} span == "
+          f"{check['ledger_flops']:,d} ledger), seconds "
+          f"{'OK' if check['seconds_close'] else 'MISMATCH'} "
+          f"(max delta {check['max_seconds_delta']:.2e} s)")
+    import json
+    with open(args.out) as fh:
+        slices = validate_chrome_trace(json.load(fh))
+    print(f"wrote {args.out}: {slices} slices, "
+          f"{len({sp.worker for sp in demo['spans']})} tracks "
+          f"(load it at https://ui.perfetto.dev)")
+    if args.jsonl:
+        print(f"wrote {args.jsonl}: {len(demo['spans'])} span records")
+    print(f"[trace: {elapsed:.1f} s]")
+    return 0 if check["flops_exact"] and check["seconds_close"] else 1
+
+
+def _cmd_report(args) -> int:
+    if args.checkpoint is not None:
+        from repro.runtime import RunTelemetry
+        from repro.runtime.checkpoint import CheckpointStore
+        snap = CheckpointStore(args.checkpoint).load_telemetry()
+        if snap is None:
+            print(f"{args.checkpoint} holds no telemetry snapshot",
+                  file=sys.stderr)
+            return 2
+        telemetry = RunTelemetry()
+        telemetry.restore(snap)
+        print(f"telemetry snapshot from {args.checkpoint}:")
+        print(telemetry.summary())
+        return 0
+    if args.spans is None:
+        print("need a span JSONL file or --checkpoint",
+              file=sys.stderr)
+        return 2
+    from repro.observability import (activity_report, node_activity,
+                                     phase_report, phase_totals,
+                                     read_spans_jsonl)
+    spans = read_spans_jsonl(args.spans)
+    if not spans:
+        print(f"{args.spans} holds no spans", file=sys.stderr)
+        return 2
+    print(f"{len(spans)} spans from {args.spans}")
+    print(phase_report(phase_totals(spans)))
+    print()
+    print(activity_report(node_activity(spans)))
     return 0
 
 

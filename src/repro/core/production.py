@@ -20,9 +20,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from repro.core.energygrid import adaptive_energy_grid
 from repro.core.runner import compute_spectrum
 from repro.hamiltonian import build_device
+from repro.observability.spans import current_tracer
 from repro.parallel import DynamicLoadBalancer
 from repro.poisson.scf import schroedinger_poisson
 from repro.runtime.checkpoint import as_store
@@ -107,26 +110,33 @@ def run_production(structure, basis, num_cells: int, bias_points,
             num_nodes, [len(energies)] * num_k, smoothing=0.5)
 
     store = as_store(checkpoint)
-    points = _restore_sweep(store, bias_points, balancer)
+    telemetry = getattr(task_runner, "telemetry", None)
+    points = _restore_sweep(store, bias_points, balancer,
+                            telemetry=telemetry)
 
     for vds in bias_points[len(points):]:
-        scf = schroedinger_poisson(
-            structure, basis, num_cells,
-            mu_l=mu_source, mu_r=mu_source - vds,
-            e_window=e_window, num_k=num_k, task_runner=task_runner,
-            energy_batch_size=energy_batch_size, **kwargs)
-        spec = compute_spectrum(structure, basis, num_cells, energies,
-                                num_k=num_k, obc_method="dense",
-                                solver="rgf",
-                                potential=scf.potential_atom,
-                                task_runner=task_runner,
-                                energy_batch_size=energy_batch_size)
-        current = spec.current(mu_source, mu_source - vds, temperature_k)
+        tracer = current_tracer()
+        scope = tracer.span(f"bias Vds={vds:+.3f}V", category="bias",
+                            vds=vds) if tracer is not None \
+            else nullcontext()
+        with scope:
+            scf = schroedinger_poisson(
+                structure, basis, num_cells,
+                mu_l=mu_source, mu_r=mu_source - vds,
+                e_window=e_window, num_k=num_k, task_runner=task_runner,
+                energy_batch_size=energy_batch_size, **kwargs)
+            spec = compute_spectrum(structure, basis, num_cells, energies,
+                                    num_k=num_k, obc_method="dense",
+                                    solver="rgf",
+                                    potential=scf.potential_atom,
+                                    task_runner=task_runner,
+                                    energy_batch_size=energy_batch_size)
+            current = spec.current(mu_source, mu_source - vds,
+                                   temperature_k)
         points.append(BiasPoint(vds=vds, current=current,
                                 scf_iterations=scf.iterations,
                                 converged=scf.converged,
                                 potential=scf.potential_atom))
-        telemetry = getattr(task_runner, "telemetry", None)
         if balancer is not None and telemetry is not None:
             balancer.apply_telemetry(telemetry)
         if balancer is not None:
@@ -138,11 +148,11 @@ def run_production(structure, basis, num_cells: int, bias_points,
                 dist = balancer.current_distribution()
                 balancer.record_iteration(per_k / dist.nodes_per_k)
         if store is not None:
-            _save_sweep(store, points, balancer)
+            _save_sweep(store, points, balancer, telemetry=telemetry)
     return ProductionResult(points=points, balancer=balancer)
 
 
-def _save_sweep(store, points, balancer) -> None:
+def _save_sweep(store, points, balancer, telemetry=None) -> None:
     state = dict(
         vds=[p.vds for p in points],
         current=[p.current for p in points],
@@ -153,14 +163,22 @@ def _save_sweep(store, points, balancer) -> None:
         state["balancer_work"] = balancer._work
         state["balancer_num_nodes"] = balancer.num_nodes
         state["balancer_history"] = np.asarray(balancer.history)
-    store.save("production", **state)
+    snap = telemetry.snapshot() if telemetry is not None else None
+    store.save("production", telemetry=snap, **state)
 
 
-def _restore_sweep(store, bias_points, balancer) -> list:
-    """Rebuild completed bias points (and balancer state) from disk."""
+def _restore_sweep(store, bias_points, balancer, telemetry=None) -> list:
+    """Rebuild completed bias points (and balancer state) from disk.
+
+    The checkpoint's telemetry snapshot, when present, is merged into
+    the live runner's ``telemetry`` so post-restart reports cover the
+    whole sweep.
+    """
     if store is None or not store.exists():
         return []
     state = store.load("production")
+    if telemetry is not None and store.last_telemetry:
+        telemetry.restore(store.last_telemetry)
     done_vds = np.atleast_1d(state["vds"])
     if len(done_vds) > len(bias_points) or \
             not np.allclose(done_vds, bias_points[:len(done_vds)]):

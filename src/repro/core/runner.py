@@ -10,6 +10,7 @@ import numpy as np
 from repro.constants import LANDAUER_2E_OVER_H
 from repro.hamiltonian import build_device, transverse_k_grid
 from repro.negf.density import fermi
+from repro.observability.spans import current_tracer
 from repro.pipeline import TransportPipeline
 from repro.runtime.checkpoint import as_store
 from repro.utils.errors import (CheckpointError, ConfigurationError,
@@ -141,6 +142,13 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         for lo in range(0, energies.size, batch):
             units.append((ik, list(range(lo, min(lo + batch,
                                                  energies.size)))))
+
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.metrics.gauge("energy_batch_size").set(int(batch))
+        tracer.metrics.counter("spectrum_units").inc(len(units))
+        tracer.metrics.histogram("unit_energies").observe(
+            min(batch, energies.size))
 
     trans = np.zeros((len(kgrid), energies.size))
     counts = np.zeros((len(kgrid), energies.size), dtype=int)

@@ -22,6 +22,7 @@ import numpy as np
 from repro.hamiltonian.device import LeadBlocks, synthetic_device_from_lead
 from repro.hardware import activity_table
 from repro.linalg import ledger_scope
+from repro.observability import phase_totals, reconcile, tracing
 from repro.runtime import RunTelemetry
 from repro.utils.rng import make_rng
 
@@ -55,9 +56,20 @@ def run(num_blocks: int = 32, block_size: int = 24,
                             num_partitions=num_partitions)
 
     telemetry = RunTelemetry()
-    with ledger_scope(trace=True) as led:
-        result = pipe.solve_point(device, energy)
+    with tracing() as tracer:
+        with ledger_scope(trace=True) as led:
+            result = pipe.solve_point(device, energy)
     telemetry.record_task_trace(result.trace)
+
+    # the Fig. 6 stage split now comes from the observability spans the
+    # pipeline emits (one per stage_scope) rather than bespoke TaskTrace
+    # bookkeeping; the reconciliation check pins both views together —
+    # flops bit-for-bit against the ledger, seconds within float-sum
+    # tolerance
+    spans = tracer.records()
+    totals = phase_totals(spans)
+    check = reconcile(spans, [result.trace],
+                      ledger_total_flops=led.total_flops)
 
     solve_meta = result.trace.stage("SOLVE").meta
     # restrict the activity table to the simulated accelerators: the OBC
@@ -70,8 +82,10 @@ def run(num_blocks: int = 32, block_size: int = 24,
         "activity": activity,
         "num_devices": int(solve_meta.get("num_devices", 0)),
         "total_flops": led.total_flops,
-        "stage_times": result.trace.stage_seconds(),
-        "stage_flops": result.trace.stage_flops(),
+        "stage_times": {n: e["seconds"] for n, e in totals.items()},
+        "stage_flops": {n: e["flops"] for n, e in totals.items()},
+        "reconciliation": check,
+        "spans": spans,
         "num_rhs": int(result.psi.shape[1]),
         "transmission_lr": float(result.transmission_lr),
         "telemetry": telemetry,
@@ -100,4 +114,12 @@ def report(results: dict) -> str:
         phases = ", ".join(f"{k}:{v * 1e3:.0f}ms"
                            for k, v in sorted(act.by_phase.items()))
         lines.append(f"  {dev}: {act.flops / 1e6:8.1f} MFLOP  [{phases}]")
+    check = results.get("reconciliation")
+    if check is not None:
+        lines.append(
+            f"Reconciliation: span flops == ledger flops "
+            f"{'OK' if check['flops_exact'] else 'MISMATCH'} "
+            f"({check['span_flops']:,d} flop), seconds "
+            f"{'OK' if check['seconds_close'] else 'MISMATCH'} "
+            f"(max delta {check['max_seconds_delta']:.2e} s)")
     return "\n".join(lines)

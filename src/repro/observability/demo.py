@@ -1,0 +1,119 @@
+"""Traced production demo: one observable end-to-end simulation.
+
+Runs a laptop-scale version of the paper's production loop — a Si
+nanowire, one (or two) bias points, the self-consistent
+Schroedinger-Poisson iteration, the Landauer current — under an
+installed :class:`~repro.observability.SpanTracer` and a flop ledger,
+then exports and cross-checks every observability artifact:
+
+* a Chrome-trace/Perfetto JSON with one track per simulated node (the
+  Fig. 12 activity timeline of a real run),
+* the JSONL span event log ``python -m repro report`` re-reads,
+* the Fig. 6 phase report and roofline annotation derived from spans,
+* the reconciliation check: span-derived per-stage flops must equal the
+  :class:`~repro.runtime.RunTelemetry` stage tables bit-for-bit and sum
+  to the ledger total exactly; seconds agree to float-sum tolerance.
+
+The demo deliberately runs fault-free and with a *fixed* energy batch
+size: failed resilient attempts would emit stage spans whose flops never
+merge into the ledger, and the ``"auto"`` batch-size probe solves one
+point outside the telemetry path — either would (correctly) break the
+exact reconciliation this demo asserts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.basis import tight_binding_set
+from repro.core.energygrid import lead_band_structure
+from repro.core.production import run_production
+from repro.hamiltonian import build_device
+from repro.hardware import TITAN
+from repro.linalg import ledger_scope
+from repro.observability.export import (write_chrome_trace,
+                                        write_spans_jsonl)
+from repro.observability.report import (phase_totals, reconcile,
+                                        roofline_annotate)
+from repro.observability.spans import SpanTracer, tracing
+from repro.parallel import ThreadTaskRunner
+from repro.runtime import ResilientTaskRunner
+from repro.structure import silicon_nanowire
+
+
+def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
+                           trace_path=None, jsonl_path=None,
+                           energy_batch_size: int = 2) -> dict:
+    """Run the traced production loop and collect every report input.
+
+    Parameters
+    ----------
+    num_nodes : simulated nodes behind the thread runner (one Perfetto
+        track group each).
+    smoke : shrink to one bias point and one SCF iteration (CI budget).
+    trace_path, jsonl_path : optional export destinations; exports are
+        skipped when omitted.
+    energy_batch_size : fixed batch size (> 0; never ``"auto"`` — see
+        the module docstring).
+
+    Returns a dict with the production ``result``, the ``tracer``, its
+    ``spans``/``metrics``, the runner ``telemetry``, the span-derived
+    ``totals``, the ``roofline`` annotation against the Titan K20X, the
+    ``reconciliation`` verdict, and the export paths (or ``None``).
+    """
+    wire = silicon_nanowire(diameter_nm=1.0, length_cells=4)
+    basis = tight_binding_set()
+    lead = build_device(wire, basis, num_cells=4).lead
+    _, bands = lead_band_structure(lead, 11)
+    e_lo = float(bands.min())
+    e_window = (e_lo + 0.1, e_lo + (0.6 if smoke else 1.0))
+
+    bias_points = [0.05] if smoke else [0.05, 0.1]
+    scf_kwargs = dict(max_iter=1 if smoke else 2, tol=5e-3,
+                      mixing=0.3, density_scale=0.02)
+
+    runner = ResilientTaskRunner(ThreadTaskRunner(num_workers=num_nodes),
+                                 max_retries=1)
+    tracer = SpanTracer()
+    with tracing(tracer):
+        with ledger_scope() as ledger:
+            result = run_production(
+                wire, basis, num_cells=4, bias_points=bias_points,
+                mu_source=e_lo + 0.3, e_window=e_window,
+                num_k=1, num_nodes=num_nodes,
+                scf_kwargs=scf_kwargs, task_runner=runner,
+                energy_batch_size=int(energy_batch_size))
+
+    spans = tracer.records()
+    totals = phase_totals(spans)
+    check = reconcile(spans, runner.telemetry,
+                      ledger_total_flops=ledger.total_flops)
+    roofline = roofline_annotate(totals, TITAN)
+
+    out = {
+        "result": result,
+        "tracer": tracer,
+        "spans": spans,
+        "metrics": tracer.metrics,
+        "telemetry": runner.telemetry,
+        "totals": totals,
+        "roofline": roofline,
+        "reconciliation": check,
+        "ledger_flops": int(ledger.total_flops),
+        "num_nodes": int(num_nodes),
+        "trace_path": None,
+        "jsonl_path": None,
+    }
+    if trace_path is not None:
+        write_chrome_trace(spans, trace_path)
+        out["trace_path"] = str(trace_path)
+    if jsonl_path is not None:
+        write_spans_jsonl(spans, jsonl_path)
+        out["jsonl_path"] = str(jsonl_path)
+    return out
+
+
+def worker_tracks(spans) -> list:
+    """Sorted worker names that carry stage spans (one Perfetto track
+    group each) — the acceptance check for "one track per node"."""
+    return sorted({sp.worker for sp in spans if sp.category == "stage"})

@@ -1,0 +1,227 @@
+"""Thread-safe metrics registry: counters, gauges, histograms.
+
+The run-wide quantitative side of the observability layer (the span
+tracer is the temporal side): FEAST iteration counts, retry counts,
+batch-bucket widths, cache hit rates — anything countable — lives in a
+:class:`MetricsRegistry`.  Registries are plain data underneath: they
+``snapshot()`` to a JSON-serializable dict (what the checkpoint layer
+persists) and ``merge()`` across runners without ever sharing a lock,
+so production runs with several :class:`~repro.runtime.RunTelemetry`
+instances report one coherent total.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.utils.errors import ConfigurationError
+
+
+class Counter:
+    """Monotonic sum.  Integer increments keep the value an exact int."""
+
+    kind = "counter"
+
+    def __init__(self, lock):
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount=1):
+        with self._lock:
+            self.value += amount
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"kind": self.kind, "value": self.value}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        self.inc(snap["value"])
+
+
+class Gauge:
+    """Last-written value (e.g. the resolved energy batch size)."""
+
+    kind = "gauge"
+
+    def __init__(self, lock):
+        self.value = None
+        self._lock = lock
+
+    def set(self, value):
+        with self._lock:
+            self.value = value
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"kind": self.kind, "value": self.value}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        if snap.get("value") is not None:
+            self.set(snap["value"])
+
+
+class Histogram:
+    """Streaming count/sum/min/max of observed values."""
+
+    kind = "histogram"
+
+    def __init__(self, lock):
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._lock = lock
+
+    def observe(self, value):
+        with self._lock:
+            self.count += 1
+            self.total += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    @property
+    def mean(self):
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {"kind": self.kind, "count": self.count,
+                    "total": self.total, "min": self.min, "max": self.max}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        with self._lock:
+            self.count += snap["count"]
+            self.total += snap["total"]
+            for key, pick in (("min", min), ("max", max)):
+                other = snap.get(key)
+                if other is None:
+                    continue
+                ours = getattr(self, key)
+                setattr(self, key,
+                        other if ours is None else pick(ours, other))
+
+
+class LabeledCounter:
+    """A family of counters keyed by a string label.
+
+    Backs set-like telemetry too: ``quarantined_nodes`` is the label set
+    of a labeled counter, so a cross-runner merge is a plain union.
+    """
+
+    kind = "labeled_counter"
+
+    def __init__(self, lock):
+        self.values: dict = {}
+        self._lock = lock
+
+    def inc(self, label: str, amount=1):
+        with self._lock:
+            self.values[label] = self.values.get(label, 0) + amount
+
+    def get(self, label: str):
+        with self._lock:
+            return self.values.get(label, 0)
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            return dict(self.values)
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "values": self.as_dict()}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        for label, value in snap["values"].items():
+            self.inc(label, value)
+
+
+_KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram,
+                                    LabeledCounter)}
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create access and snapshot/merge.
+
+    All accessors are thread-safe; each metric carries its own lock, so
+    two registries never deadlock when merging into each other
+    concurrently (merges read a snapshot of the source first).
+    """
+
+    def __init__(self):
+        self._metrics: dict = {}
+        self._lock = threading.Lock()
+
+    def _get(self, name: str, cls):
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(threading.Lock())
+            elif not isinstance(metric, cls):
+                raise ConfigurationError(
+                    f"metric {name!r} is a {metric.kind}, not a "
+                    f"{cls.kind}")
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def labeled(self, name: str) -> LabeledCounter:
+        return self._get(name, LabeledCounter)
+
+    def names(self) -> list:
+        with self._lock:
+            return sorted(self._metrics)
+
+    # -- snapshot / merge ---------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state of every metric (checkpoint format)."""
+        with self._lock:
+            metrics = dict(self._metrics)
+        return {name: m.snapshot() for name, m in sorted(metrics.items())}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold a snapshot in: counters sum, labels union, gauges adopt."""
+        for name, entry in snap.items():
+            cls = _KINDS.get(entry.get("kind"))
+            if cls is None:
+                raise ConfigurationError(
+                    f"unknown metric kind {entry.get('kind')!r} for "
+                    f"{name!r}")
+            self._get(name, cls).merge_snapshot(entry)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry in via its snapshot (no shared locking)."""
+        self.merge_snapshot(other.snapshot())
+
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge_snapshot(snap)
+        return reg
+
+    def as_rows(self) -> list:
+        """Human-readable ``name  value`` rows for CLI reports."""
+        rows = []
+        for name, entry in self.snapshot().items():
+            kind = entry["kind"]
+            if kind == "counter" or kind == "gauge":
+                rows.append(f"{name:<28s} {entry['value']}")
+            elif kind == "histogram":
+                if entry["count"]:
+                    mean = entry["total"] / entry["count"]
+                    rows.append(
+                        f"{name:<28s} n={entry['count']} "
+                        f"mean={mean:.4g} min={entry['min']:.4g} "
+                        f"max={entry['max']:.4g}")
+                else:
+                    rows.append(f"{name:<28s} n=0")
+            else:
+                rows.append(f"{name:<28s} {entry['values']}")
+        return rows

@@ -1,0 +1,242 @@
+"""Span-derived run reports: phase breakdown, node activity, roofline.
+
+Everything here consumes plain :class:`~repro.observability.spans.Span`
+lists — live from a tracer or re-read from a JSONL export — and
+produces the three views the paper tells its performance story with:
+
+* :func:`phase_totals` / :func:`phase_report` — the Fig. 6 per-phase
+  time/flop breakdown, derived from stage spans instead of the bespoke
+  ``fig6_phases`` bookkeeping,
+* :func:`node_activity` / :func:`activity_report` — the Fig. 12
+  per-node activity timeline summary (busy seconds, flops, span),
+* :func:`roofline_annotate` / :func:`roofline_report` — achieved vs.
+  attainable GF/s per stage, joining span flops/bytes/seconds against
+  :mod:`repro.perfmodel.roofline` and a device's peaks.
+
+:func:`reconcile` is the acceptance check: span-derived phase totals
+must match the :class:`~repro.pipeline.TaskTrace` tables bit-for-bit in
+flops and within float-sum tolerance in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.specs import GpuSpec, MachineSpec
+from repro.perfmodel.roofline import RooflinePoint
+from repro.utils.errors import ConfigurationError
+
+
+def phase_totals(spans, category: str = "stage") -> dict:
+    """Aggregate spans of one category by name.
+
+    Returns ``{name: {"seconds", "flops", "bytes", "count"}}`` in
+    first-seen order.  For ``category="stage"`` this is the Fig. 6
+    phase table; per-stage flops are exact integer sums of the stage
+    probe ledgers, so they reconcile bit-for-bit with the surrounding
+    :class:`~repro.linalg.flops.FlopLedger`.
+    """
+    out: dict = {}
+    for sp in spans:
+        if sp.category != category:
+            continue
+        entry = out.setdefault(sp.name, {"seconds": 0.0, "flops": 0,
+                                         "bytes": 0, "count": 0})
+        entry["seconds"] += sp.seconds
+        entry["flops"] += int(sp.flops)
+        entry["bytes"] += int(sp.bytes_moved)
+        entry["count"] += 1
+    return out
+
+
+def phase_report(totals: dict, title: str = "Phase breakdown "
+                 "(span-derived, Fig. 6 view)") -> str:
+    lines = [title]
+    total_s = sum(e["seconds"] for e in totals.values()) or 1.0
+    for name, e in totals.items():
+        lines.append(f"  {name:<10s} {e['seconds'] * 1e3:10.2f} ms "
+                     f"({e['seconds'] / total_s:6.1%})  "
+                     f"{e['flops']:>16,d} flop  x{e['count']}")
+    total_f = sum(e["flops"] for e in totals.values())
+    lines.append(f"  {'total':<10s} {total_s * 1e3:10.2f} ms "
+                 f"{'':>9s}{total_f:>16,d} flop")
+    return "\n".join(lines)
+
+
+def node_activity(spans, category: str = "stage") -> dict:
+    """Per-worker activity summary — the Fig. 12 timeline, tabulated.
+
+    Returns ``{worker: {"busy_s", "span_s", "flops", "spans",
+    "by_name"}}``; ``span_s`` is last-stop minus first-start on that
+    worker, so ``busy_s / span_s`` is the track's utilization.
+    """
+    picked = [sp for sp in spans if sp.category == category]
+    if not picked:
+        raise ConfigurationError(
+            f"no {category!r} spans recorded; run under tracing()")
+    out: dict = {}
+    for sp in picked:
+        entry = out.setdefault(sp.worker, {
+            "busy_s": 0.0, "flops": 0, "spans": 0, "by_name": {},
+            "_t0": sp.t_start, "_t1": sp.t_stop})
+        entry["busy_s"] += sp.seconds
+        entry["flops"] += int(sp.flops)
+        entry["spans"] += 1
+        entry["by_name"][sp.name] = \
+            entry["by_name"].get(sp.name, 0.0) + sp.seconds
+        entry["_t0"] = min(entry["_t0"], sp.t_start)
+        entry["_t1"] = max(entry["_t1"], sp.t_stop)
+    for entry in out.values():
+        entry["span_s"] = max(entry.pop("_t1") - entry.pop("_t0"), 0.0)
+    return dict(sorted(out.items()))
+
+
+def activity_report(activity: dict) -> str:
+    lines = ["Per-node activity (span-derived, Fig. 12 view)"]
+    for worker, e in activity.items():
+        util = e["busy_s"] / e["span_s"] if e["span_s"] > 0 else 0.0
+        names = ", ".join(f"{n}:{t * 1e3:.0f}ms"
+                          for n, t in sorted(e["by_name"].items()))
+        lines.append(f"  {worker:<8s} {e['busy_s'] * 1e3:9.1f} ms busy "
+                     f"/ {e['span_s'] * 1e3:9.1f} ms span "
+                     f"({util:5.1%})  {e['flops'] / 1e6:9.1f} MFLOP  "
+                     f"[{names}]")
+    return "\n".join(lines)
+
+
+@dataclass
+class RooflineStage:
+    """One phase's measured rate joined against a device roofline."""
+
+    name: str
+    seconds: float
+    point: RooflinePoint
+
+    @property
+    def achieved_gflops(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.point.flops / self.seconds / 1e9
+
+    @property
+    def attainable_gflops(self) -> float:
+        return self.point.attainable_flops / 1e9
+
+    @property
+    def efficiency(self) -> float:
+        """Achieved / roofline-attainable (can exceed 1 when the real
+        host outruns the simulated device's calibrated peak)."""
+        att = self.point.attainable_flops
+        return self.achieved_gflops * 1e9 / att if att > 0 else 0.0
+
+    def row(self) -> str:
+        kind = "compute" if self.point.compute_bound else "memory"
+        return (f"{self.name:<10s} AI {self.point.arithmetic_intensity:8.1f}"
+                f" flop/B ({kind}-bound)  achieved "
+                f"{self.achieved_gflops:9.2f} GF/s  attainable "
+                f"{self.attainable_gflops:9.1f} GF/s  "
+                f"({self.efficiency:6.1%})")
+
+
+def _as_gpu(device) -> GpuSpec:
+    if isinstance(device, GpuSpec):
+        return device
+    if isinstance(device, MachineSpec):
+        return device.node.gpu
+    spec = getattr(device, "spec", None)      # SimulatedMachine
+    if spec is not None:
+        return spec.node.gpu
+    raise ConfigurationError(
+        "device must be a GpuSpec, MachineSpec, or SimulatedMachine")
+
+
+def roofline_annotate(totals: dict, device) -> dict:
+    """Join phase totals against a device roofline.
+
+    ``totals`` is :func:`phase_totals` output; ``device`` is a
+    :class:`GpuSpec`, :class:`MachineSpec`, or
+    :class:`~repro.hardware.SimulatedMachine`.  Phases without flops
+    are skipped (nothing to place on a roofline).
+    """
+    gpu = _as_gpu(device)
+    peak = gpu.peak_dp_gflops * 1e9
+    bw = gpu.bandwidth_gb_s * 1e9
+    out = {}
+    for name, e in totals.items():
+        if e["flops"] <= 0:
+            continue
+        point = RooflinePoint(name=name, flops=int(e["flops"]),
+                              bytes_moved=int(e["bytes"]),
+                              device_peak_flops=peak,
+                              device_bandwidth=bw)
+        out[name] = RooflineStage(name=name, seconds=float(e["seconds"]),
+                                  point=point)
+    if not out:
+        raise ConfigurationError("no phase carries flops to annotate")
+    return out
+
+
+def roofline_report(annotated: dict, device_name: str = "") -> str:
+    lines = [f"Roofline annotation per stage"
+             + (f" (vs {device_name})" if device_name else "")]
+    lines += ["  " + stage.row() for stage in annotated.values()]
+    return "\n".join(lines)
+
+
+def reconcile(spans, traces, ledger_total_flops: int | None = None
+              ) -> dict:
+    """Check span-derived phase totals against the TaskTrace tables.
+
+    ``traces`` is a list of :class:`~repro.pipeline.TaskTrace` objects,
+    or a :class:`~repro.runtime.RunTelemetry` (whose aggregated
+    ``stage_time_s``/``stage_flops`` tables are the same sums).  Returns
+    ``{"flops_exact", "seconds_close", "span_flops", "trace_flops",
+    "ledger_flops", "max_seconds_delta", "per_stage"}``.  Flops must
+    match bit-for-bit per stage (and, when a ledger total is given, in
+    aggregate); seconds must agree within float-sum tolerance — batched
+    stages carve their wall time with largest-remainder apportionment,
+    so per-stage sums differ from the batch wall time only by rounding.
+    """
+    span_totals = phase_totals(spans)
+    trace_totals: dict = {}
+    if hasattr(traces, "stage_flops") and hasattr(traces, "stage_time_s"):
+        times = traces.stage_time_s
+        for name, flops in traces.stage_flops.items():
+            trace_totals[name] = {"seconds": float(times.get(name, 0.0)),
+                                  "flops": int(flops)}
+    else:
+        for tr in traces:
+            if tr is None:
+                continue
+            for st in tr.stages:
+                e = trace_totals.setdefault(st.name,
+                                            {"seconds": 0.0, "flops": 0})
+                e["seconds"] += st.seconds
+                e["flops"] += int(st.flops)
+
+    per_stage = {}
+    max_dt = 0.0
+    flops_exact = set(span_totals) == set(trace_totals)
+    for name in set(span_totals) | set(trace_totals):
+        se = span_totals.get(name, {"seconds": 0.0, "flops": 0})
+        te = trace_totals.get(name, {"seconds": 0.0, "flops": 0})
+        dt = abs(se["seconds"] - te["seconds"])
+        exact = se["flops"] == te["flops"]
+        flops_exact = flops_exact and exact
+        max_dt = max(max_dt, dt)
+        per_stage[name] = {"flops_exact": exact, "seconds_delta": dt}
+
+    span_flops = sum(e["flops"] for e in span_totals.values())
+    trace_flops = sum(e["flops"] for e in trace_totals.values())
+    total_s = sum(e["seconds"] for e in span_totals.values())
+    tol = 1e-9 * max(total_s, 1.0) * max(len(per_stage), 1) * 64
+    if ledger_total_flops is not None:
+        flops_exact = flops_exact and span_flops == int(ledger_total_flops)
+    return {"flops_exact": bool(flops_exact),
+            "seconds_close": bool(max_dt <= tol),
+            "span_flops": int(span_flops),
+            "trace_flops": int(trace_flops),
+            "ledger_flops": (None if ledger_total_flops is None
+                             else int(ledger_total_flops)),
+            "max_seconds_delta": float(max_dt),
+            "per_stage": per_stage}

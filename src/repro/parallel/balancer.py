@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.observability.spans import current_tracer
 from repro.parallel.topology import (allocate_nodes_to_momentum,
                                      build_distribution, distribute_items)
 from repro.utils.errors import ConfigurationError
@@ -73,7 +74,17 @@ class DynamicLoadBalancer:
                       + (1.0 - self.smoothing) * work)
         self.history.append(self._work.copy())
         self._invalidate()
-        return self.current_distribution()
+        dist = self.current_distribution()
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter("rebalances").inc()
+            tracer.instant(
+                "rebalance", category="balancer",
+                attrs={"iteration": len(self.history),
+                       "nodes_per_k": [int(n) for n in dist.nodes_per_k],
+                       "predicted_time_s":
+                           self.predicted_iteration_time()})
+        return dist
 
     def record_task_traces(self, traces):
         """Feed back *measured* per-task times from pipeline traces.
@@ -121,6 +132,12 @@ class DynamicLoadBalancer:
         self.quarantined.append(node)
         self.num_nodes = survivors
         self._invalidate()
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.labeled("balancer_quarantined").inc(node)
+            tracer.instant("quarantine", category="balancer",
+                           attrs={"node": node,
+                                  "survivors": survivors})
 
     def apply_telemetry(self, telemetry) -> list:
         """Quarantine every node a runner's telemetry reports dead.

@@ -12,7 +12,10 @@ from __future__ import annotations
 import time
 from concurrent.futures import ThreadPoolExecutor
 
+from contextlib import nullcontext
+
 from repro.linalg.flops import current_ledger, device_scope, ledger_scope
+from repro.observability.spans import current_tracer
 from repro.utils.errors import ConfigurationError, TaskExecutionError
 
 
@@ -53,8 +56,12 @@ class ThreadTaskRunner:
         def run(item):
             idx, task = item
             node = f"node{idx % self.num_workers}"
+            tracer = current_tracer()
+            scope = tracer.span(f"task {idx}", category="task",
+                                worker=node, task_index=idx) \
+                if tracer is not None else nullcontext()
             with ledger_scope(parent_ledger):
-                with device_scope(node):
+                with device_scope(node), scope:
                     t0 = time.perf_counter()
                     try:
                         if self.fault_injector is not None:

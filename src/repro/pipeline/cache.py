@@ -37,6 +37,7 @@ from __future__ import annotations
 import threading
 
 from repro.obc.polynomial import PolynomialFamily
+from repro.observability.spans import current_tracer
 from repro.pipeline.registry import OBC_METHODS
 
 
@@ -218,6 +219,10 @@ class DeviceCache:
                 if k is not None and k in self._boundary_memo:
                     have[j] = self._boundary_memo[k]
         missing = [j for j in range(len(energies)) if j not in have]
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.metrics.counter("obc_cache_hits").inc(len(have))
+            tracer.metrics.counter("obc_cache_misses").inc(len(missing))
         if missing:
             fresh = self._compute_boundary_batch(
                 [energies[j] for j in missing], method, uses_pevp,

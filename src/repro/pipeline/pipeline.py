@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.linalg.batched import bucket_by_width
 from repro.negf.transmission import EnergyPointResult, analyze_solution
+from repro.observability.spans import current_tracer
 from repro.pipeline.cache import DeviceCache, as_cache
 from repro.pipeline.registry import (SOLVERS, resolve_batch_solver_name,
                                      resolve_solver_name)
@@ -190,6 +191,7 @@ class TransportPipeline:
         # per-energy inside the same scope.  Per-energy stage traces are
         # carved from the batch totals by solver iteration counts
         # (post-hoc weights; exact flop apportionment).
+        tracer = current_tracer()
         with batch_stage_scope(traces, "OBC") as sts:
             obs = cache.boundary_batch(energies, self.obc_method,
                                        warm_start=self.obc_warm_start,
@@ -198,6 +200,9 @@ class TransportPipeline:
                 st.meta["method"] = ob.method or self.obc_method
                 st.meta["batch_size"] = ne
                 st.meta["weight"] = float(ob.info.get("iterations", 1))
+                if tracer is not None:
+                    tracer.metrics.histogram("obc_iterations").observe(
+                        int(ob.info.get("iterations", 1)))
                 if self.obc_warm_start:
                     st.meta["warm_start"] = True
                 if ob.modes is None:
@@ -227,6 +232,11 @@ class TransportPipeline:
         for width, pos in buckets.items():
             if width == 0:
                 continue   # no propagating modes: nothing to solve
+            if tracer is not None:
+                tracer.metrics.histogram("rhs_bucket_width").observe(
+                    int(width))
+                tracer.metrics.histogram("rhs_bucket_size").observe(
+                    len(pos))
             name = resolve_batch_solver_name(
                 self.solver, num_blocks=cache.num_blocks,
                 block_size=int(max(cache.block_sizes)),

@@ -25,6 +25,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from repro.linalg.flops import FlopLedger, current_ledger, ledger_scope
+from repro.observability.spans import current_tracer
 from repro.utils.timing import StageTimer
 
 #: Canonical stage order of one (k, E) transport task.
@@ -105,6 +106,7 @@ def stage_scope(trace: TaskTrace, name: str, timer: StageTimer | None = None):
     probe = FlopLedger(trace=parent.trace)
     st = StageTrace(name=name)
     trace.stages.append(st)
+    t0 = time.perf_counter()
     try:
         with timer.stage(name):
             with ledger_scope(probe):
@@ -113,6 +115,16 @@ def stage_scope(trace: TaskTrace, name: str, timer: StageTimer | None = None):
         parent.merge(probe)
         st.seconds = float(timer.stages.get(name, 0.0))
         st.flops = int(probe.total_flops)
+        st.meta.setdefault(
+            "bytes", int(sum(probe.bytes_by_device.values())))
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.emit(name, category="stage", t_start=t0,
+                        seconds=st.seconds, flops=st.flops,
+                        bytes_moved=st.meta["bytes"],
+                        attrs={"kpoint": trace.kpoint_index,
+                               "energy_index": trace.energy_index,
+                               "energy": trace.energy})
 
 
 def apportion_exact(total: int, weights) -> list:
@@ -182,7 +194,19 @@ def batch_stage_scope(traces, name: str, weights=None):
         if wsum <= 0.0:
             weights = [1.0] * len(sts)
             wsum = float(len(sts)) if sts else 1.0
+        total_bytes = int(sum(probe.bytes_by_device.values()))
         flop_shares = apportion_exact(int(probe.total_flops), weights)
-        for st, w, f in zip(sts, weights, flop_shares):
+        byte_shares = apportion_exact(total_bytes, weights)
+        for st, w, f, b in zip(sts, weights, flop_shares, byte_shares):
             st.seconds = elapsed * max(float(w), 0.0) / wsum
             st.flops = int(f)
+            st.meta.setdefault("bytes", int(b))
+        tracer = current_tracer()
+        if tracer is not None and traces:
+            tracer.emit(name, category="stage", t_start=t0,
+                        seconds=elapsed, flops=int(probe.total_flops),
+                        bytes_moved=total_bytes,
+                        attrs={"kpoint": traces[0].kpoint_index,
+                               "batch_size": len(sts),
+                               "energy_indices": [tr.energy_index
+                                                  for tr in traces]})

@@ -10,6 +10,7 @@ scaling experiments of Section 5 time.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +18,7 @@ import numpy as np
 from repro.core.energygrid import adaptive_energy_grid
 from repro.core.runner import compute_spectrum
 from repro.negf import atom_density, orbital_density
+from repro.observability.spans import current_tracer
 from repro.poisson.fd import solve_poisson
 from repro.poisson.grid import PoissonGrid
 from repro.runtime.checkpoint import as_store
@@ -106,9 +108,12 @@ def schroedinger_poisson(structure, basis, num_cells: int,
     spectrum = None
     dens_atoms = np.zeros(natoms)
     store = as_store(checkpoint)
+    telemetry = getattr(task_runner, "telemetry", None)
     start_iter = 1
     if store is not None and store.exists():
         state = store.load("scf")
+        if telemetry is not None and store.last_telemetry:
+            telemetry.restore(store.last_telemetry)
         pot = np.asarray(state["potential"], dtype=float)
         dens_atoms = np.asarray(state["density"], dtype=float)
         residuals = [float(r) for r in np.atleast_1d(state["residuals"])]
@@ -123,48 +128,59 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                              converged=True, spectrum=None)
         start_iter = int(state["iteration"]) + 1
     for it in range(start_iter, max_iter + 1):
-        # (i) transport at the current potential
-        energies = _scf_energy_grid(structure, basis, num_cells, pot,
-                                    e_window)
-        spectrum = compute_spectrum(structure, basis, num_cells, energies,
-                                    num_k=num_k, obc_method=obc_method,
-                                    solver=solver, potential=pot,
-                                    task_runner=task_runner,
-                                    energy_batch_size=energy_batch_size)
-        # (ii) accumulate density (trapezoid over the energy grid)
-        dev = None
-        dens_orb = None
-        weights = _trapezoid_weights(energies)
-        for res, w in zip(spectrum.results, np.tile(
-                weights, len(spectrum.kpoints))):
-            if dev is None:
-                from repro.hamiltonian import build_device
-                dev = build_device(structure, basis, num_cells)
-            contrib = orbital_density(res, dev.smat, mu_l, mu_r,
-                                      temperature_k)
-            dens_orb = contrib * w if dens_orb is None \
-                else dens_orb + contrib * w
-        dens_atoms = density_scale * atom_density(
-            dens_orb, dev.orbital_offsets)
+        tracer = current_tracer()
+        scope = tracer.span(f"scf-iter {it}", category="scf",
+                            iteration=it) if tracer is not None \
+            else nullcontext()
+        with scope as sp:
+            # (i) transport at the current potential
+            energies = _scf_energy_grid(structure, basis, num_cells, pot,
+                                        e_window)
+            spectrum = compute_spectrum(
+                structure, basis, num_cells, energies,
+                num_k=num_k, obc_method=obc_method,
+                solver=solver, potential=pot,
+                task_runner=task_runner,
+                energy_batch_size=energy_batch_size)
+            # (ii) accumulate density (trapezoid over the energy grid)
+            dev = None
+            dens_orb = None
+            weights = _trapezoid_weights(energies)
+            for res, w in zip(spectrum.results, np.tile(
+                    weights, len(spectrum.kpoints))):
+                if dev is None:
+                    from repro.hamiltonian import build_device
+                    dev = build_device(structure, basis, num_cells)
+                contrib = orbital_density(res, dev.smat, mu_l, mu_r,
+                                          temperature_k)
+                dens_orb = contrib * w if dens_orb is None \
+                    else dens_orb + contrib * w
+            dens_atoms = density_scale * atom_density(
+                dens_orb, dev.orbital_offsets)
 
-        # (iii) Poisson with net charge (donors positive, electrons neg.)
-        net_charge = doping - dens_atoms
-        rho = grid.assign_charge(structure.positions, net_charge)
-        phi = solve_poisson(grid, rho, eps_r=eps_r,
-                            dirichlet_mask=gate_mask,
-                            dirichlet_values=dirichlet_vals)
-        new_pot = -grid.interpolate(phi, structure.positions)  # eV
-        new_pot[frozen] = 0.0
+            # (iii) Poisson with net charge (donors +, electrons -)
+            net_charge = doping - dens_atoms
+            rho = grid.assign_charge(structure.positions, net_charge)
+            phi = solve_poisson(grid, rho, eps_r=eps_r,
+                                dirichlet_mask=gate_mask,
+                                dirichlet_values=dirichlet_vals)
+            new_pot = -grid.interpolate(phi, structure.positions)  # eV
+            new_pot[frozen] = 0.0
 
-        # (iv) mix and test convergence
-        resid = float(np.max(np.abs(new_pot - pot)))
-        residuals.append(resid)
-        pot = (1.0 - mixing) * pot + mixing * new_pot
+            # (iv) mix and test convergence
+            resid = float(np.max(np.abs(new_pot - pot)))
+            residuals.append(resid)
+            pot = (1.0 - mixing) * pot + mixing * new_pot
+            if sp is not None:
+                sp.attrs["residual"] = resid
+                sp.attrs["converged"] = resid < tol
         if store is not None:
             store.save("scf", iteration=it, potential=pot,
                        density=dens_atoms,
                        residuals=np.asarray(residuals),
-                       converged=resid < tol)
+                       converged=resid < tol,
+                       telemetry=(telemetry.snapshot()
+                                  if telemetry is not None else None))
         if resid < tol:
             return SCFResult(potential_atom=pot, density_atom=dens_atoms,
                              residuals=residuals, iterations=it,

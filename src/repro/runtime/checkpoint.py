@@ -19,11 +19,15 @@ arrays; ``allow_pickle`` stays off, so a checkpoint is plain data.
 
 from __future__ import annotations
 
+import json
 import os
 
 import numpy as np
 
 from repro.utils.errors import CheckpointError
+
+#: reserved key holding the telemetry/metrics snapshot (JSON text)
+_TELEMETRY_KEY = "__telemetry__"
 
 
 class CheckpointStore:
@@ -31,18 +35,26 @@ class CheckpointStore:
 
     def __init__(self, path):
         self.path = os.fspath(path)
+        #: telemetry snapshot of the most recent :meth:`load` (or None)
+        self.last_telemetry: dict | None = None
 
     def exists(self) -> bool:
         return os.path.exists(self.path)
 
-    def save(self, kind: str, **state) -> None:
+    def save(self, kind: str, telemetry: dict | None = None,
+             **state) -> None:
         """Atomically replace the checkpoint with ``state``.
 
         Values must be array-convertible (scalars, bools, lists of
         numbers, ndarrays); object arrays are rejected to keep the file
-        pickle-free.
+        pickle-free.  ``telemetry`` takes a JSON-serializable metrics
+        snapshot (:meth:`repro.runtime.RunTelemetry.snapshot`) stored as
+        JSON text, so a resumed run's failure/retry/stage accounting
+        covers the whole job, not just the post-restart tail.
         """
         arrays = {"__kind__": np.asarray(kind)}
+        if telemetry is not None:
+            arrays[_TELEMETRY_KEY] = np.asarray(json.dumps(telemetry))
         for key, value in state.items():
             arr = np.asarray(value)
             if arr.dtype == object:
@@ -69,8 +81,26 @@ class CheckpointStore:
             raise CheckpointError(
                 f"checkpoint {self.path} holds a {stored_kind!r} state, "
                 f"expected {kind!r}")
+        self.last_telemetry = None
+        blob = data.pop(_TELEMETRY_KEY, None)
+        if blob is not None:
+            try:
+                self.last_telemetry = json.loads(str(blob))
+            except ValueError as exc:
+                raise CheckpointError(
+                    f"corrupt telemetry snapshot in {self.path}: "
+                    f"{exc}") from exc
         return {key: (value.item() if value.ndim == 0 else value)
                 for key, value in data.items()}
+
+    def load_telemetry(self) -> dict | None:
+        """Telemetry snapshot of the checkpoint, without loading state.
+
+        Returns ``None`` when the checkpoint has no telemetry (older
+        files stay loadable).
+        """
+        self.load()
+        return self.last_telemetry
 
     def clear(self) -> None:
         if self.exists():

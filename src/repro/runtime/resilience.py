@@ -17,85 +17,159 @@ run, and the discarded work shows up as ``wasted_flops`` instead.
 
 from __future__ import annotations
 
-import threading
 import time
-from collections import defaultdict
-from dataclasses import dataclass, field
 
 from repro.linalg.flops import FlopLedger, current_ledger, ledger_scope
+from repro.observability.metrics import MetricsRegistry
+from repro.observability.spans import current_tracer
 from repro.utils.errors import (ConfigurationError, NodeFailureError,
                                 TaskExecutionError, TaskTimeoutError)
 
 
-@dataclass
 class RunTelemetry:
-    """Structured failure/retry accounting of one resilient runner."""
+    """Structured failure/retry accounting of one resilient runner.
 
-    tasks_submitted: int = 0
-    attempts: int = 0
-    retries: int = 0
-    giveups: int = 0
-    timeouts: int = 0
-    node_deaths: int = 0
-    failures_by_type: dict = field(
-        default_factory=lambda: defaultdict(int))
-    quarantined_nodes: set = field(default_factory=set)
-    wasted_flops: int = 0
-    wasted_time_s: float = 0.0
-    straggler_delay_s: float = 0.0
-    #: aggregated pipeline stage breakdown (PREPARE/OBC/.../ANALYZE)
-    stage_time_s: dict = field(default_factory=lambda: defaultdict(float))
-    stage_flops: dict = field(default_factory=lambda: defaultdict(int))
-    tasks_traced: int = 0
-    _lock: threading.Lock = field(default_factory=threading.Lock,
-                                  repr=False)
+    A *view* over a :class:`~repro.observability.MetricsRegistry`: every
+    counter (attempts, retries, wasted flops, per-stage breakdown, ...)
+    lives in the registry, and the familiar attributes are read-through
+    properties.  That makes telemetry
+
+    * **mergeable** — :meth:`merge` folds another runner's telemetry in
+      without ever sharing a lock, so production runs with several
+      :class:`ResilientTaskRunner` instances report one coherent total,
+    * **persistable** — :meth:`snapshot` / :meth:`restore` round-trip
+      through the checkpoint layer, so a restarted run's report covers
+      the whole job rather than only the post-restart tail.
+    """
+
+    def __init__(self, metrics: MetricsRegistry | None = None):
+        self.metrics = metrics if metrics is not None \
+            else MetricsRegistry()
+
+    # -- read-through views over the registry -------------------------------
+
+    @property
+    def tasks_submitted(self) -> int:
+        return self.metrics.counter("tasks_submitted").value
+
+    @property
+    def attempts(self) -> int:
+        return self.metrics.counter("attempts").value
+
+    @property
+    def retries(self) -> int:
+        return self.metrics.counter("retries").value
+
+    @property
+    def giveups(self) -> int:
+        return self.metrics.counter("giveups").value
+
+    @property
+    def timeouts(self) -> int:
+        return self.metrics.counter("timeouts").value
+
+    @property
+    def node_deaths(self) -> int:
+        return self.metrics.counter("node_deaths").value
+
+    @property
+    def tasks_traced(self) -> int:
+        return self.metrics.counter("tasks_traced").value
+
+    @property
+    def wasted_flops(self) -> int:
+        return self.metrics.counter("wasted_flops").value
+
+    @property
+    def wasted_time_s(self) -> float:
+        return self.metrics.counter("wasted_time_s").value
+
+    @property
+    def straggler_delay_s(self) -> float:
+        return self.metrics.counter("straggler_delay_s").value
+
+    @property
+    def failures_by_type(self) -> dict:
+        return self.metrics.labeled("failures_by_type").as_dict()
+
+    @property
+    def quarantined_nodes(self) -> set:
+        return set(self.metrics.labeled("quarantined_nodes").as_dict())
+
+    @property
+    def stage_time_s(self) -> dict:
+        """Aggregated pipeline stage breakdown (PREPARE/.../ANALYZE)."""
+        return self.metrics.labeled("stage_time_s").as_dict()
+
+    @property
+    def stage_flops(self) -> dict:
+        return self.metrics.labeled("stage_flops").as_dict()
+
+    # -- recording ----------------------------------------------------------
+
+    def record_submitted(self, num_tasks: int) -> None:
+        self.metrics.counter("tasks_submitted").inc(int(num_tasks))
 
     def record_attempt(self, retry: bool) -> None:
-        with self._lock:
-            self.attempts += 1
-            if retry:
-                self.retries += 1
+        self.metrics.counter("attempts").inc()
+        if retry:
+            self.metrics.counter("retries").inc()
 
     def record_failure(self, exc: Exception, wasted_flops: int,
                        wasted_time_s: float) -> None:
-        with self._lock:
-            self.failures_by_type[type(exc).__name__] += 1
-            self.wasted_flops += wasted_flops
-            self.wasted_time_s += wasted_time_s
-            if isinstance(exc, TaskTimeoutError):
-                self.timeouts += 1
-            if isinstance(exc, NodeFailureError):
-                self.node_deaths += 1
-                if exc.permanent:
-                    self.quarantined_nodes.add(exc.node)
+        self.metrics.labeled("failures_by_type").inc(type(exc).__name__)
+        self.metrics.counter("wasted_flops").inc(int(wasted_flops))
+        self.metrics.counter("wasted_time_s").inc(float(wasted_time_s))
+        if isinstance(exc, TaskTimeoutError):
+            self.metrics.counter("timeouts").inc()
+        if isinstance(exc, NodeFailureError):
+            self.metrics.counter("node_deaths").inc()
+            if exc.permanent:
+                self.metrics.labeled("quarantined_nodes").inc(
+                    str(exc.node))
 
     def record_success(self, delay_s: float) -> None:
-        with self._lock:
-            self.straggler_delay_s += delay_s
+        self.metrics.counter("straggler_delay_s").inc(float(delay_s))
 
     def record_giveup(self) -> None:
-        with self._lock:
-            self.giveups += 1
+        self.metrics.counter("giveups").inc()
 
     def record_task_trace(self, trace) -> None:
         """Fold one pipeline :class:`~repro.pipeline.TaskTrace` in."""
         if trace is None:
             return
-        with self._lock:
-            self.tasks_traced += 1
-            for st in trace.stages:
-                self.stage_time_s[st.name] += st.seconds
-                self.stage_flops[st.name] += st.flops
+        self.metrics.counter("tasks_traced").inc()
+        times = self.metrics.labeled("stage_time_s")
+        flops = self.metrics.labeled("stage_flops")
+        for st in trace.stages:
+            times.inc(st.name, float(st.seconds))
+            flops.inc(st.name, int(st.flops))
+
+    # -- aggregation / persistence ------------------------------------------
+
+    def merge(self, other: "RunTelemetry") -> "RunTelemetry":
+        """Fold another runner's telemetry in (lock-free across objects:
+        the source is snapshotted first, then the snapshot is applied).
+        Returns ``self`` so totals chain: ``a.merge(b).merge(c)``."""
+        self.metrics.merge_snapshot(other.metrics.snapshot())
+        return self
+
+    def snapshot(self) -> dict:
+        """JSON-serializable state (what the checkpoint layer persists)."""
+        return self.metrics.snapshot()
+
+    def restore(self, snap: dict | None) -> None:
+        """Merge a persisted snapshot back in (on checkpoint resume)."""
+        if snap:
+            self.metrics.merge_snapshot(snap)
 
     @property
     def traced_flops(self) -> int:
-        with self._lock:
-            return int(sum(self.stage_flops.values()))
+        return int(sum(self.stage_flops.values()))
 
     @property
     def total_failures(self) -> int:
-        with self._lock:
-            return sum(self.failures_by_type.values())
+        return sum(self.failures_by_type.values())
 
     def summary(self) -> str:
         rows = [
@@ -191,8 +265,7 @@ class ResilientTaskRunner:
 
     def __call__(self, tasks) -> list:
         tasks = list(tasks)
-        with self.telemetry._lock:
-            self.telemetry.tasks_submitted += len(tasks)
+        self.telemetry.record_submitted(len(tasks))
         guarded = [self._make_resilient(i, t) for i, t in enumerate(tasks)]
         if self.task_runner is None:
             return [g() for g in guarded]
@@ -241,6 +314,12 @@ class ResilientTaskRunner:
                     self.telemetry.record_failure(
                         exc, probe.total_flops,
                         time.perf_counter() - t0)
+                    tracer = current_tracer()
+                    if tracer is not None:
+                        tracer.instant(
+                            "task-fault", category="fault", worker=node,
+                            attrs={"task_index": index, "attempt": attempt,
+                                   "error": type(exc).__name__})
                     last_exc = exc
                     continue
                 target.merge(probe)

@@ -1,0 +1,475 @@
+"""Tests for the unified observability layer.
+
+Span tracer semantics (nesting, disabled mode, install/restore),
+metrics registry snapshot/merge, RunTelemetry as a registry view
+(merge/persist), the Chrome-trace/JSONL exporters and their schema
+check, span-derived reports and roofline annotation, checkpointed
+telemetry continuity, and the traced production demo's end-to-end
+reconciliation.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig6_phases import _test_lead
+from repro.hamiltonian.device import synthetic_device_from_lead
+from repro.hardware import K20X, TITAN
+from repro.linalg import gemm
+from repro.linalg.flops import ledger_scope
+from repro.observability import (MetricsRegistry, Span, SpanTracer,
+                                 current_tracer, install_tracer,
+                                 node_activity, phase_report,
+                                 phase_totals, read_spans_jsonl,
+                                 reconcile, roofline_annotate,
+                                 to_chrome_trace, tracing,
+                                 validate_chrome_trace,
+                                 write_chrome_trace, write_spans_jsonl)
+from repro.runtime import CheckpointStore, ResilientTaskRunner, RunTelemetry
+from repro.utils.errors import (CheckpointError, ConfigurationError,
+                                NodeFailureError)
+
+
+class TestSpanTracer:
+    def test_nested_scopes_record_parentage(self):
+        tracer = SpanTracer()
+        with tracer.span("outer", category="task") as outer:
+            with tracer.span("inner", category="stage") as inner:
+                pass
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert outer.t_stop >= inner.t_stop >= inner.t_start
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = SpanTracer()
+        with pytest.raises(ValueError):
+            with tracer.span("bad") as sp:
+                raise ValueError("x")
+        assert sp.attrs["error"] == "ValueError"
+        assert sp.t_stop >= sp.t_start
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = SpanTracer(enabled=False)
+        with tracer.span("a") as sp:
+            assert sp is None
+        assert tracer.emit("b") is None
+        assert tracer.instant("c") is None
+        assert tracer.records() == []
+
+    def test_tracing_installs_and_restores(self):
+        assert current_tracer() is None
+        with tracing() as tracer:
+            assert current_tracer() is tracer
+            with tracing() as nested:
+                assert current_tracer() is nested
+            assert current_tracer() is tracer
+        assert current_tracer() is None
+
+    def test_install_disabled_tracer_reads_as_none(self):
+        prev = install_tracer(SpanTracer(enabled=False))
+        try:
+            assert current_tracer() is None
+        finally:
+            install_tracer(prev)
+
+    def test_emit_seconds_sets_duration(self):
+        tracer = SpanTracer()
+        sp = tracer.emit("x", t_start=10.0, seconds=0.5, flops=7)
+        assert sp.seconds == pytest.approx(0.5)
+        assert sp.flops == 7
+
+    def test_span_dict_round_trip(self):
+        sp = Span(name="a", category="stage", t_start=1.0, t_stop=2.5,
+                  flops=12, bytes_moved=34, worker="node1", span_id=3,
+                  parent_id=1, attrs={"k": 0})
+        assert Span.from_dict(sp.as_dict()) == sp
+
+
+class TestMetricsRegistry:
+    def test_counter_is_int_exact(self):
+        reg = MetricsRegistry()
+        reg.counter("flops").inc(2**53 + 1)
+        reg.counter("flops").inc(1)
+        assert reg.counter("flops").value == 2**53 + 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ConfigurationError, match="counter"):
+            reg.gauge("x")
+
+    def test_snapshot_merge_round_trip(self):
+        a = MetricsRegistry()
+        a.counter("n").inc(3)
+        a.gauge("batch").set(4)
+        a.histogram("w").observe(2.0)
+        a.histogram("w").observe(6.0)
+        a.labeled("fail").inc("RuntimeError", 2)
+
+        b = MetricsRegistry.from_snapshot(a.snapshot())
+        b.merge(a)
+        assert b.counter("n").value == 6
+        assert b.gauge("batch").value == 4
+        assert b.histogram("w").count == 4
+        assert b.histogram("w").min == 2.0
+        assert b.histogram("w").max == 6.0
+        assert b.labeled("fail").get("RuntimeError") == 4
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.histogram("h").observe(1.5)
+        reg.labeled("l").inc("a")
+        restored = MetricsRegistry.from_snapshot(
+            json.loads(json.dumps(reg.snapshot())))
+        assert restored.snapshot() == reg.snapshot()
+
+    def test_unknown_kind_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ConfigurationError, match="unknown metric"):
+            reg.merge_snapshot({"x": {"kind": "exotic"}})
+
+    def test_as_rows_mentions_every_metric(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(2)
+        reg.histogram("empty")
+        rows = "\n".join(reg.as_rows())
+        assert "hits" in rows and "empty" in rows
+
+
+class TestRunTelemetry:
+    def test_merge_sums_counters_and_unions_nodes(self):
+        a, b = RunTelemetry(), RunTelemetry()
+        a.record_submitted(4)
+        a.record_attempt(retry=False)
+        a.record_failure(RuntimeError("x"), wasted_flops=100,
+                         wasted_time_s=0.5)
+        b.record_submitted(2)
+        b.record_attempt(retry=True)
+        b.record_failure(
+            NodeFailureError("dead", node="node3", permanent=True),
+            wasted_flops=50, wasted_time_s=0.25)
+        b.record_failure(RuntimeError("y"), wasted_flops=1,
+                         wasted_time_s=0.1)
+
+        merged = RunTelemetry().merge(a).merge(b)
+        assert merged.tasks_submitted == 6
+        assert merged.attempts == 2
+        assert merged.retries == 1
+        assert merged.wasted_flops == 151       # exact int
+        assert merged.failures_by_type["RuntimeError"] == 2
+        assert merged.failures_by_type["NodeFailureError"] == 1
+        assert merged.quarantined_nodes == {"node3"}
+        assert merged.node_deaths == 1
+        # sources untouched
+        assert a.tasks_submitted == 4 and b.tasks_submitted == 2
+
+    def test_stage_tables_merge_exactly(self):
+        from repro.pipeline.trace import StageTrace, TaskTrace
+        a, b = RunTelemetry(), RunTelemetry()
+        tr1 = TaskTrace(stages=[StageTrace("OBC", 0.5, 1000)])
+        tr2 = TaskTrace(stages=[StageTrace("OBC", 0.25, 500),
+                                StageTrace("SOLVE", 0.1, 30)])
+        a.record_task_trace(tr1)
+        b.record_task_trace(tr2)
+        merged = RunTelemetry().merge(a).merge(b)
+        assert merged.stage_flops == {"OBC": 1500, "SOLVE": 30}
+        assert merged.stage_time_s["OBC"] == pytest.approx(0.75)
+        assert merged.tasks_traced == 2
+        assert merged.traced_flops == 1530
+
+    def test_snapshot_restore_round_trip(self):
+        a = RunTelemetry()
+        a.record_submitted(3)
+        a.record_giveup()
+        snap = json.loads(json.dumps(a.snapshot()))
+        fresh = RunTelemetry()
+        fresh.restore(snap)
+        assert fresh.tasks_submitted == 3
+        assert fresh.giveups == 1
+        fresh.restore(None)  # no-op
+        assert fresh.tasks_submitted == 3
+
+    def test_summary_format_preserved(self):
+        t = RunTelemetry()
+        t.record_submitted(2)
+        out = t.summary()
+        assert "tasks       2" in out
+        assert "wasted" in out
+
+
+def _spans_two_workers():
+    return [
+        Span(name="task 0", category="task", t_start=0.0, t_stop=1.0,
+             worker="node0", span_id=1),
+        Span(name="OBC", category="stage", t_start=0.1, t_stop=0.6,
+             flops=1000, bytes_moved=100, worker="node0", span_id=2,
+             parent_id=1),
+        Span(name="SOLVE", category="stage", t_start=0.6, t_stop=0.9,
+             flops=500, bytes_moved=10, worker="node0", span_id=3,
+             parent_id=1),
+        Span(name="OBC", category="stage", t_start=0.2, t_stop=0.7,
+             flops=2000, bytes_moved=50, worker="node1", span_id=4),
+        Span(name="fault", category="fault", t_start=0.5, t_stop=0.5,
+             worker="node1", span_id=5),
+    ]
+
+
+class TestExport:
+    def test_chrome_trace_one_pid_per_worker(self):
+        trace = to_chrome_trace(_spans_two_workers())
+        names = {ev["args"]["name"]: ev["pid"] for ev in
+                 trace["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "process_name"}
+        assert set(names) == {"node0", "node1"}
+        assert len(set(names.values())) == 2
+        assert validate_chrome_trace(trace) == 4  # four X slices
+
+    def test_children_share_parent_lane(self):
+        trace = to_chrome_trace(_spans_two_workers())
+        tids = {ev["name"]: ev["tid"] for ev in trace["traceEvents"]
+                if ev["ph"] == "X" and ev["pid"] == 1}
+        # stage slices nest inside the task slice: same tid
+        assert tids["task 0"] == tids["OBC"] == tids["SOLVE"]
+
+    def test_zero_duration_becomes_instant(self):
+        trace = to_chrome_trace(_spans_two_workers())
+        instants = [ev for ev in trace["traceEvents"] if ev["ph"] == "i"]
+        assert len(instants) == 1
+        assert instants[0]["name"] == "fault"
+
+    def test_empty_spans_raise(self):
+        with pytest.raises(ConfigurationError, match="no spans"):
+            to_chrome_trace([])
+
+    def test_validate_rejects_bad_traces(self):
+        with pytest.raises(ConfigurationError, match="traceEvents"):
+            validate_chrome_trace({"foo": []})
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            validate_chrome_trace({"traceEvents": []})
+        with pytest.raises(ConfigurationError, match="phase"):
+            validate_chrome_trace({"traceEvents": [{"ph": "Q"}]})
+        with pytest.raises(ConfigurationError, match="missing"):
+            validate_chrome_trace(
+                {"traceEvents": [{"ph": "X", "name": "a", "ts": 0.0}]})
+        with pytest.raises(ConfigurationError, match="no slice"):
+            validate_chrome_trace({"traceEvents": [
+                {"ph": "M", "name": "process_name", "pid": 1}]})
+
+    def test_write_chrome_trace_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(_spans_two_workers(), path)
+        with open(path) as fh:
+            assert validate_chrome_trace(json.load(fh)) == 4
+
+    def test_jsonl_round_trip(self, tmp_path):
+        path = tmp_path / "spans.jsonl"
+        spans = _spans_two_workers()
+        assert write_spans_jsonl(spans, path) == len(spans)
+        assert read_spans_jsonl(path) == spans
+
+
+class TestReports:
+    def test_phase_totals_aggregates_stage_spans(self):
+        totals = phase_totals(_spans_two_workers())
+        assert totals["OBC"] == {"seconds": pytest.approx(1.0),
+                                 "flops": 3000, "bytes": 150, "count": 2}
+        assert totals["SOLVE"]["flops"] == 500
+        assert "phase" in phase_report(totals).lower()
+
+    def test_node_activity_by_worker(self):
+        act = node_activity(_spans_two_workers())
+        assert set(act) == {"node0", "node1"}
+        assert act["node0"]["busy_s"] == pytest.approx(0.8)
+        assert act["node0"]["flops"] == 1500
+        with pytest.raises(ConfigurationError):
+            node_activity(_spans_two_workers(), category="nope")
+
+    def test_roofline_annotate_joins_device_peaks(self):
+        totals = phase_totals(_spans_two_workers())
+        for device in (K20X, TITAN):
+            ann = roofline_annotate(totals, device)
+            assert set(ann) == {"OBC", "SOLVE"}   # flop-carrying only
+            obc = ann["OBC"]
+            assert obc.achieved_gflops == pytest.approx(
+                3000 / 1.0 / 1e9)
+            assert obc.attainable_gflops <= K20X.peak_dp_gflops
+            assert obc.point.arithmetic_intensity == pytest.approx(
+                3000 / 150)
+            assert obc.row()
+
+    def test_roofline_requires_flops(self):
+        with pytest.raises(ConfigurationError, match="no phase"):
+            roofline_annotate({"A": {"seconds": 1.0, "flops": 0,
+                                     "bytes": 0, "count": 1}}, K20X)
+
+    def test_reconcile_against_telemetry_view(self):
+        spans = _spans_two_workers()
+        tel = RunTelemetry()
+        from repro.pipeline.trace import StageTrace, TaskTrace
+        tel.record_task_trace(TaskTrace(stages=[
+            StageTrace("OBC", 1.0, 3000), StageTrace("SOLVE", 0.3, 500)]))
+        check = reconcile(spans, tel, ledger_total_flops=3500)
+        assert check["flops_exact"]
+        assert check["seconds_close"]
+        assert check["span_flops"] == check["trace_flops"] == 3500
+
+    def test_reconcile_detects_flop_mismatch(self):
+        spans = _spans_two_workers()
+        check = reconcile(spans, [], ledger_total_flops=3500)
+        assert not check["flops_exact"]
+
+
+@pytest.fixture
+def device():
+    return synthetic_device_from_lead(_test_lead(6, seed=3), 8)
+
+
+class TestPipelineIntegration:
+    def test_spectrum_spans_reconcile_with_ledger(self, device):
+        from repro.pipeline import TransportPipeline
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(device)
+        traces = []
+        with tracing() as tracer:
+            with ledger_scope() as led:
+                r0 = pipe.solve_point(cache, 2.0, energy_index=0)
+                batch = pipe.solve_batch(cache, [1.6, 2.4],
+                                         energy_indices=[1, 2])
+        traces = [r0.trace] + [r.trace for r in batch]
+        spans = tracer.records()
+        check = reconcile(spans, traces,
+                          ledger_total_flops=led.total_flops)
+        assert check["flops_exact"], check
+        assert check["seconds_close"], check
+        totals = phase_totals(spans)
+        assert sum(e["flops"] for e in totals.values()) \
+            == led.total_flops
+
+    def test_pipeline_metrics_recorded(self, device):
+        from repro.pipeline import TransportPipeline
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(device)
+        with tracing() as tracer:
+            with ledger_scope():
+                pipe.solve_batch(cache, [1.8, 2.2],
+                                 energy_indices=[0, 1])
+                pipe.solve_batch(cache, [1.8, 2.2],
+                                 energy_indices=[0, 1])
+        snap = tracer.metrics.snapshot()
+        assert snap["obc_cache_misses"]["value"] == 2
+        assert snap["obc_cache_hits"]["value"] == 2
+        assert snap["rhs_bucket_width"]["count"] >= 1
+        assert snap["obc_iterations"]["count"] == 4
+
+    def test_disabled_tracing_changes_nothing(self, device):
+        from repro.pipeline import TransportPipeline
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        with ledger_scope() as led_plain:
+            r_plain = pipe.solve_point(pipe.cache(device), 2.0)
+        with tracing():
+            with ledger_scope() as led_traced:
+                r_traced = pipe.solve_point(pipe.cache(device), 2.0)
+        assert r_plain.transmission_lr == r_traced.transmission_lr
+        assert led_plain.total_flops == led_traced.total_flops
+
+
+class TestCheckpointTelemetry:
+    def test_save_load_telemetry_snapshot(self, tmp_path):
+        store = CheckpointStore(tmp_path / "c.npz")
+        tel = RunTelemetry()
+        tel.record_submitted(5)
+        tel.record_giveup()
+        store.save("scf", telemetry=tel.snapshot(), iteration=1,
+                   value=np.arange(3.0))
+        state = store.load("scf")
+        assert "iteration" in state and "__telemetry__" not in state
+        fresh = RunTelemetry()
+        fresh.restore(store.last_telemetry)
+        assert fresh.tasks_submitted == 5
+        assert fresh.giveups == 1
+        assert store.load_telemetry() == tel.snapshot()
+
+    def test_checkpoint_without_telemetry_stays_loadable(self, tmp_path):
+        store = CheckpointStore(tmp_path / "c.npz")
+        store.save("scf", iteration=2)
+        assert store.load("scf")["iteration"] == 2
+        assert store.last_telemetry is None
+        assert store.load_telemetry() is None
+
+    def test_kind_check_still_enforced(self, tmp_path):
+        store = CheckpointStore(tmp_path / "c.npz")
+        store.save("scf", telemetry={"n": {"kind": "counter",
+                                           "value": 1}})
+        with pytest.raises(CheckpointError, match="scf"):
+            store.load("production")
+
+
+class TestTracedDemo:
+    @pytest.fixture(scope="class")
+    def demo(self, tmp_path_factory):
+        from repro.observability.demo import traced_production_demo
+        out = tmp_path_factory.mktemp("demo")
+        return traced_production_demo(
+            num_nodes=2, smoke=True,
+            trace_path=out / "trace.json",
+            jsonl_path=out / "spans.jsonl")
+
+    def test_reconciliation_exact(self, demo):
+        check = demo["reconciliation"]
+        assert check["flops_exact"], check
+        assert check["seconds_close"], check
+        assert check["span_flops"] == demo["ledger_flops"]
+
+    def test_one_track_per_node(self, demo):
+        from repro.observability.demo import worker_tracks
+        assert worker_tracks(demo["spans"]) == ["node0", "node1"]
+        with open(demo["trace_path"]) as fh:
+            trace = json.load(fh)
+        names = {ev["args"]["name"] for ev in trace["traceEvents"]
+                 if ev["ph"] == "M" and ev["name"] == "process_name"}
+        assert {"node0", "node1"} <= names
+        assert validate_chrome_trace(trace) > 0
+
+    def test_span_hierarchy_has_outer_scopes(self, demo):
+        cats = {sp.category for sp in demo["spans"]}
+        assert {"bias", "scf", "task", "stage"} <= cats
+        by_id = {sp.span_id: sp for sp in demo["spans"]}
+        scf = next(sp for sp in demo["spans"] if sp.category == "scf")
+        assert by_id[scf.parent_id].category == "bias"
+
+    def test_metrics_and_telemetry_populated(self, demo):
+        assert demo["metrics"].gauge("energy_batch_size").value == 2
+        assert demo["telemetry"].tasks_traced > 0
+        assert demo["telemetry"].total_failures == 0
+        assert set(demo["roofline"])  # at least one flop-carrying stage
+
+    def test_jsonl_reloads(self, demo):
+        spans = read_spans_jsonl(demo["jsonl_path"])
+        assert len(spans) == len(demo["spans"])
+
+
+class TestCLI:
+    def test_report_from_jsonl(self, tmp_path, capsys):
+        from repro.__main__ import main
+        path = tmp_path / "s.jsonl"
+        write_spans_jsonl(_spans_two_workers(), path)
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Phase breakdown" in out
+        assert "node0" in out
+
+    def test_report_from_checkpoint(self, tmp_path, capsys):
+        from repro.__main__ import main
+        tel = RunTelemetry()
+        tel.record_submitted(7)
+        store = CheckpointStore(tmp_path / "c.npz")
+        store.save("production", telemetry=tel.snapshot(), vds=[0.1])
+        assert main(["report", "--checkpoint",
+                     str(tmp_path / "c.npz")]) == 0
+        assert "tasks       7" in capsys.readouterr().out
+
+    def test_report_needs_input(self, capsys):
+        from repro.__main__ import main
+        assert main(["report"]) == 2
