@@ -40,6 +40,14 @@ def main(argv=None) -> int:
     tracep.add_argument("--smoke", action="store_true",
                         help="shrink to one bias point / one SCF "
                              "iteration (CI budget)")
+    tracep.add_argument("--backend", choices=("thread", "process"),
+                        default="thread",
+                        help="task execution backend: simulated nodes on "
+                             "threads (default) or worker OS processes "
+                             "with merged telemetry")
+    tracep.add_argument("--telemetry-out", default=None,
+                        help="write the merged RunTelemetry snapshot as "
+                             "JSON (machine-readable CI artifact)")
 
     reportp = sub.add_parser(
         "report", help="re-derive the phase/activity reports from a span "
@@ -88,9 +96,11 @@ def _cmd_trace(args) -> int:
     t0 = time.perf_counter()
     demo = traced_production_demo(num_nodes=args.nodes, smoke=args.smoke,
                                   trace_path=args.out,
-                                  jsonl_path=args.jsonl)
+                                  jsonl_path=args.jsonl,
+                                  backend=args.backend)
     elapsed = time.perf_counter() - t0
 
+    print(f"backend: {args.backend} ({args.nodes} workers)")
     print(demo["result"].iv_table())
     print()
     print(phase_report(demo["totals"]))
@@ -121,6 +131,14 @@ def _cmd_trace(args) -> int:
           f"(load it at https://ui.perfetto.dev)")
     if args.jsonl:
         print(f"wrote {args.jsonl}: {len(demo['spans'])} span records")
+    if args.telemetry_out:
+        with open(args.telemetry_out, "w") as fh:
+            json.dump({"backend": args.backend,
+                       "num_nodes": int(args.nodes),
+                       "reconciliation": check,
+                       "telemetry": demo["telemetry"].snapshot()},
+                      fh, indent=2, sort_keys=True)
+        print(f"wrote {args.telemetry_out}: merged telemetry snapshot")
     print(f"[trace: {elapsed:.1f} s]")
     return 0 if check["flops_exact"] and check["seconds_close"] else 1
 

@@ -96,6 +96,13 @@ def energy_grid(device, e_min: float, e_max: float, **kwargs):
 
 def spectrum(structure, energies, basis: str = "tb", num_cells: int = 4,
              **kwargs) -> TransportSpectrum:
-    """Full (k, E) transport run on a structure."""
+    """Full (k, E) transport run on a structure.
+
+    Extra keywords reach :func:`repro.core.compute_spectrum` — notably
+    ``backend="serial"|"thread"|"process"`` with ``num_workers=N`` to
+    pick the execution backend (all backends are bit-identical; the
+    process backend runs the (k, E) units on worker OS processes and
+    merges their telemetry).
+    """
     return compute_spectrum(structure, _basis(basis), num_cells,
                             energies, **kwargs)

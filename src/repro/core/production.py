@@ -63,7 +63,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                    temperature_k: float = 300.0,
                    task_runner=None,
                    energy_batch_size: int = 1,
-                   checkpoint=None) -> ProductionResult:
+                   checkpoint=None, backend: str | None = None,
+                   num_workers: int | None = None) -> ProductionResult:
     """Run the full multi-bias production simulation.
 
     Parameters
@@ -86,6 +87,14 @@ def run_production(structure, basis, num_cells: int, bias_points,
         Persist the sweep after every completed bias point and resume
         from it: completed points (and the balancer's learned work
         model) are restored instead of re-computed.
+    backend : {"serial", "thread", "process"}, optional
+        Build (and own) the task runner via
+        :func:`repro.parallel.make_task_runner` instead of passing
+        ``task_runner``; the runner is kept alive across all bias
+        points (the process pool amortizes over the sweep) and closed
+        before returning.  Mutually exclusive with ``task_runner``.
+    num_workers : int, optional
+        Worker count for ``backend`` (default 1; ignored otherwise).
 
     Notes
     -----
@@ -97,6 +106,13 @@ def run_production(structure, basis, num_cells: int, bias_points,
     bias_points = [float(v) for v in bias_points]
     if not bias_points:
         raise ConfigurationError("need at least one bias point")
+    if backend is not None and task_runner is not None:
+        raise ConfigurationError(
+            "pass either task_runner or backend, not both")
+    owned_runner = None
+    if backend is not None:
+        from repro.parallel.backend import make_task_runner
+        task_runner = owned_runner = make_task_runner(backend, num_workers)
     kwargs = dict(mixing=0.3, max_iter=12, tol=5e-3, density_scale=0.02)
     kwargs.update(scf_kwargs or {})
 
@@ -114,41 +130,49 @@ def run_production(structure, basis, num_cells: int, bias_points,
     points = _restore_sweep(store, bias_points, balancer,
                             telemetry=telemetry)
 
-    for vds in bias_points[len(points):]:
-        tracer = current_tracer()
-        scope = tracer.span(f"bias Vds={vds:+.3f}V", category="bias",
-                            vds=vds) if tracer is not None \
-            else nullcontext()
-        with scope:
-            scf = schroedinger_poisson(
-                structure, basis, num_cells,
-                mu_l=mu_source, mu_r=mu_source - vds,
-                e_window=e_window, num_k=num_k, task_runner=task_runner,
-                energy_batch_size=energy_batch_size, **kwargs)
-            spec = compute_spectrum(structure, basis, num_cells, energies,
-                                    num_k=num_k, obc_method="dense",
-                                    solver="rgf",
-                                    potential=scf.potential_atom,
-                                    task_runner=task_runner,
-                                    energy_batch_size=energy_batch_size)
-            current = spec.current(mu_source, mu_source - vds,
-                                   temperature_k)
-        points.append(BiasPoint(vds=vds, current=current,
-                                scf_iterations=scf.iterations,
-                                converged=scf.converged,
-                                potential=scf.potential_atom))
-        if balancer is not None and telemetry is not None:
-            balancer.apply_telemetry(telemetry)
-        if balancer is not None:
-            # feed back the *measured* per-k wall times of this bias
-            # point's transport solve (stage traces), falling back to the
-            # energy-count proxy only if no traces were produced
-            if balancer.record_task_traces(spec.traces) is None:
-                per_k = np.full(num_k, max(len(energies), 1), dtype=float)
-                dist = balancer.current_distribution()
-                balancer.record_iteration(per_k / dist.nodes_per_k)
-        if store is not None:
-            _save_sweep(store, points, balancer, telemetry=telemetry)
+    try:
+        for vds in bias_points[len(points):]:
+            tracer = current_tracer()
+            scope = tracer.span(f"bias Vds={vds:+.3f}V", category="bias",
+                                vds=vds) if tracer is not None \
+                else nullcontext()
+            with scope:
+                scf = schroedinger_poisson(
+                    structure, basis, num_cells,
+                    mu_l=mu_source, mu_r=mu_source - vds,
+                    e_window=e_window, num_k=num_k,
+                    task_runner=task_runner,
+                    energy_batch_size=energy_batch_size, **kwargs)
+                spec = compute_spectrum(structure, basis, num_cells,
+                                        energies,
+                                        num_k=num_k, obc_method="dense",
+                                        solver="rgf",
+                                        potential=scf.potential_atom,
+                                        task_runner=task_runner,
+                                        energy_batch_size=energy_batch_size)
+                current = spec.current(mu_source, mu_source - vds,
+                                       temperature_k)
+            points.append(BiasPoint(vds=vds, current=current,
+                                    scf_iterations=scf.iterations,
+                                    converged=scf.converged,
+                                    potential=scf.potential_atom))
+            if balancer is not None and telemetry is not None:
+                balancer.apply_telemetry(telemetry)
+            if balancer is not None:
+                # feed back the *measured* per-k wall times of this bias
+                # point's transport solve (stage traces), falling back to
+                # the energy-count proxy only if no traces were produced
+                if balancer.record_task_traces(spec.traces) is None:
+                    per_k = np.full(num_k, max(len(energies), 1),
+                                    dtype=float)
+                    dist = balancer.current_distribution()
+                    balancer.record_iteration(per_k / dist.nodes_per_k)
+            if store is not None:
+                _save_sweep(store, points, balancer, telemetry=telemetry)
+    finally:
+        if owned_runner is not None:
+            from repro.parallel.backend import close_task_runner
+            close_task_runner(owned_runner)
     return ProductionResult(points=points, balancer=balancer)
 
 

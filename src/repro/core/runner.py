@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import itertools
+import os
 import time
 from dataclasses import dataclass, field
 
@@ -11,6 +13,7 @@ from repro.constants import LANDAUER_2E_OVER_H
 from repro.hamiltonian import build_device, transverse_k_grid
 from repro.negf.density import fermi
 from repro.observability.spans import current_tracer
+from repro.parallel.serialization import TaskDescriptor
 from repro.pipeline import TransportPipeline
 from repro.runtime.checkpoint import as_store
 from repro.utils.errors import (CheckpointError, ConfigurationError,
@@ -57,12 +60,79 @@ class TransportSpectrum:
         return out
 
 
+@dataclass(frozen=True)
+class SpectrumUnitSpec:
+    """Picklable recipe for one (k, E-batch) unit of a spectrum run.
+
+    This is what crosses the process boundary instead of a task closure:
+    the structure/basis inputs plus the pipeline configuration, enough
+    for :func:`_solve_unit` to rebuild the device and solve the batch in
+    a worker with bit-identical results (device assembly and the solves
+    are deterministic functions of these inputs).
+    """
+
+    structure: object
+    basis: object
+    num_cells: int
+    kz: float
+    potential: object          # (num_atoms,) array or None
+    obc_method: str
+    solver: str
+    num_partitions: int
+    obc_kwargs: dict | None
+    energies: tuple            # the unit's energy values
+    kpoint_index: int
+    energy_indices: tuple
+    run_token: str             # worker-side cache key, unique per run
+
+
+#: per-process device/pipeline cache of :func:`_solve_unit`, keyed
+#: ``(run_token, kpoint_index)`` so a worker assembles each k-point's
+#: device once and reuses it for every energy batch of the same run
+_WORKER_CACHE: dict = {}
+_WORKER_CACHE_MAX = 8
+
+_RUN_TOKENS = itertools.count()
+
+
+def _solve_unit(spec: SpectrumUnitSpec):
+    """Worker-side entry point: solve one unit from its plain-data spec.
+
+    Module-level (pickled by reference) and self-contained: rebuilds the
+    pipeline and the k-point's device on first use, memoized per process
+    in :data:`_WORKER_CACHE` (bounded FIFO — workers of a long energy
+    sweep hold a handful of k-point devices, not all of them).
+    """
+    key = (spec.run_token, spec.kpoint_index)
+    entry = _WORKER_CACHE.get(key)
+    if entry is None:
+        pipe = TransportPipeline(obc_method=spec.obc_method,
+                                 solver=spec.solver,
+                                 num_partitions=spec.num_partitions,
+                                 obc_kwargs=spec.obc_kwargs)
+        dev = build_device(spec.structure, spec.basis, spec.num_cells,
+                           kpoint=(0.0, spec.kz))
+        if spec.potential is not None:
+            dev = dev.with_potential(np.asarray(spec.potential,
+                                                dtype=float))
+        entry = (pipe, pipe.cache(dev))
+        while len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
+            _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+        _WORKER_CACHE[key] = entry
+    pipe, cache = entry
+    return pipe.solve_batch(cache,
+                            np.asarray(spec.energies, dtype=float),
+                            kpoint_index=spec.kpoint_index,
+                            energy_indices=list(spec.energy_indices))
+
+
 def compute_spectrum(structure, basis, num_cells: int, energies,
                      num_k: int = 1, obc_method: str = "feast",
                      solver: str = "splitsolve", num_partitions: int = 1,
                      potential=None, obc_kwargs: dict | None = None,
                      task_runner=None, energy_batch_size: int = 1,
-                     checkpoint=None) -> TransportSpectrum:
+                     checkpoint=None, backend: str | None = None,
+                     num_workers: int | None = None) -> TransportSpectrum:
     """Run the full (k, E) transport loop on a structure.
 
     Parameters
@@ -98,7 +168,19 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         instead of re-solved (for very long energy grids inside one SCF
         transport solve).  Restored units contribute to the
         ``transmission``/``mode_counts`` arrays only — ``results`` and
-        ``traces`` hold just the freshly computed points.
+        ``traces`` hold just the freshly computed points.  The runner's
+        telemetry snapshot is checkpointed alongside and merged back on
+        resume, so the returned accounting covers the whole job.
+    backend : {"serial", "thread", "process"}, optional
+        Convenience alternative to ``task_runner``: build (and own) the
+        runner via :func:`repro.parallel.make_task_runner` with
+        ``num_workers`` workers, closing it before returning.  All
+        backends produce bit-identical spectra; ``"process"`` executes
+        the units in worker OS processes via picklable
+        :class:`SpectrumUnitSpec` descriptors.  Mutually exclusive with
+        ``task_runner``.
+    num_workers : int, optional
+        Worker count for ``backend`` (default 1; ignored otherwise).
 
     Notes
     -----
@@ -110,6 +192,13 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
     energies = np.asarray(list(energies), dtype=float)
     if energies.size == 0:
         raise ConfigurationError("need at least one energy")
+    if backend is not None and task_runner is not None:
+        raise ConfigurationError(
+            "pass either task_runner or backend, not both")
+    owned_runner = None
+    if backend is not None:
+        from repro.parallel.backend import make_task_runner
+        task_runner = owned_runner = make_task_runner(backend, num_workers)
     if isinstance(energy_batch_size, str):
         if energy_batch_size != "auto":
             raise ConfigurationError(
@@ -157,43 +246,62 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         done = _restore_spectrum(store, energies, kgrid, batch,
                                  len(units), trans, counts)
 
+    telemetry = getattr(task_runner, "telemetry", None)
+    if (telemetry is not None and store is not None
+            and store.last_telemetry and hasattr(telemetry, "restore")):
+        # resume: fold the checkpointed accounting into the live runner
+        # so the returned telemetry covers the whole job, not the tail
+        telemetry.restore(store.last_telemetry)
+
+    token = f"{os.getpid()}:{next(_RUN_TOKENS)}"
     tasks = []
     for ui, (ik, ies) in enumerate(units):
         if done[ui]:
             continue
+        spec = SpectrumUnitSpec(
+            structure=structure, basis=basis, num_cells=num_cells,
+            kz=float(kgrid[ik, 0]), potential=potential,
+            obc_method=obc_method, solver=solver,
+            num_partitions=num_partitions, obc_kwargs=obc_kwargs,
+            energies=tuple(float(e) for e in energies[ies]),
+            kpoint_index=ik, energy_indices=tuple(int(e) for e in ies),
+            run_token=token)
         tasks.append((ui, _make_task(pipe, caches[ik],
-                                     energies[ies], ik, ies)))
+                                     energies[ies], ik, ies, spec)))
 
     results = []
     traces = []
-    if task_runner is None:
-        telemetry = None
-        for ui, task in tasks:
-            _absorb_unit(units[ui], task(), trans, counts, results,
-                         traces, None)
-            done[ui] = True
-            if store is not None:
+    try:
+        if task_runner is None:
+            for ui, task in tasks:
+                _absorb_unit(units[ui], task(), trans, counts, results,
+                             traces, None)
+                done[ui] = True
+                if store is not None:
+                    _save_spectrum(store, energies, kgrid, batch, done,
+                                   trans, counts)
+        else:
+            try:
+                outputs = task_runner([t for _, t in tasks])
+            except TaskExecutionError as exc:
+                # translate the runner's flat task index back to the
+                # (k, E) identity so the caller knows which unit to re-run
+                if 0 <= exc.task_index < len(tasks):
+                    ik, ies = units[tasks[exc.task_index][0]]
+                    exc.kpoint_index = ik
+                    exc.energy_index = ies[0]
+                raise
+            for (ui, _), out in zip(tasks, outputs):
+                _absorb_unit(units[ui], out, trans, counts, results,
+                             traces, telemetry)
+                done[ui] = True
+            if store is not None and tasks:
                 _save_spectrum(store, energies, kgrid, batch, done,
-                               trans, counts)
-    else:
-        try:
-            outputs = task_runner([t for _, t in tasks])
-        except TaskExecutionError as exc:
-            # translate the runner's flat task index back to the (k, E)
-            # identity so the caller knows which unit to re-run
-            if 0 <= exc.task_index < len(tasks):
-                ik, ies = units[tasks[exc.task_index][0]]
-                exc.kpoint_index = ik
-                exc.energy_index = ies[0]
-            raise
-        telemetry = getattr(task_runner, "telemetry", None)
-        for (ui, _), out in zip(tasks, outputs):
-            _absorb_unit(units[ui], out, trans, counts, results, traces,
-                         telemetry)
-            done[ui] = True
-        if store is not None and tasks:
-            _save_spectrum(store, energies, kgrid, batch, done, trans,
-                           counts)
+                               trans, counts, telemetry)
+    finally:
+        if owned_runner is not None:
+            from repro.parallel.backend import close_task_runner
+            close_task_runner(owned_runner)
     return TransportSpectrum(energies=energies, kpoints=kgrid,
                              transmission=trans, mode_counts=counts,
                              results=results, traces=traces,
@@ -225,10 +333,14 @@ def _auto_batch_size(pipe, cache, energies, store) -> int:
     return int(min(batch, energies.size))
 
 
-def _make_task(pipe, cache, unit_energies, ik, ies):
+def _make_task(pipe, cache, unit_energies, ik, ies, spec=None):
     def task():
         return pipe.solve_batch(cache, unit_energies, kpoint_index=ik,
                                 energy_indices=ies)
+    if spec is not None:
+        # the picklable twin of the closure: serial/thread runners call
+        # the closure, the process backend ships the descriptor
+        task.descriptor = TaskDescriptor(fn=_solve_unit, args=(spec,))
     return task
 
 
@@ -247,9 +359,12 @@ def _absorb_unit(unit, outputs, trans, counts, results, traces,
 
 
 def _save_spectrum(store, energies, kgrid, batch, done, trans,
-                   counts) -> None:
-    store.save("spectrum", energies=energies, kpoints=kgrid,
-               energy_batch_size=batch, done=done,
+                   counts, telemetry=None) -> None:
+    snap = telemetry.snapshot() \
+        if telemetry is not None and hasattr(telemetry, "snapshot") \
+        else None
+    store.save("spectrum", telemetry=snap, energies=energies,
+               kpoints=kgrid, energy_batch_size=batch, done=done,
                transmission=trans, mode_counts=counts)
 
 

@@ -144,6 +144,28 @@ class FlopLedger:
                 self.bytes_by_device[k] += v
             self.events.extend(other.events)
 
+    def as_snapshot(self) -> dict:
+        """Plain-data state (what a worker process ships to its parent).
+
+        Kernel events are intentionally excluded: they carry raw
+        ``perf_counter`` pairs that are only meaningful inside one
+        activity-trace session, and worker results should stay small.
+        """
+        with self._lock:
+            return {"flops_by_kernel": dict(self.flops_by_kernel),
+                    "flops_by_device": dict(self.flops_by_device),
+                    "bytes_by_device": dict(self.bytes_by_device)}
+
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold an :meth:`as_snapshot` dict in (cross-process merge)."""
+        with self._lock:
+            for k, v in snap.get("flops_by_kernel", {}).items():
+                self.flops_by_kernel[k] += int(v)
+            for k, v in snap.get("flops_by_device", {}).items():
+                self.flops_by_device[k] += int(v)
+            for k, v in snap.get("bytes_by_device", {}).items():
+                self.bytes_by_device[k] += int(v)
+
     def reset(self) -> None:
         with self._lock:
             self.flops_by_kernel.clear()

@@ -39,22 +39,31 @@ from repro.observability.spans import SpanTracer, tracing
 from repro.parallel import ThreadTaskRunner
 from repro.runtime import ResilientTaskRunner
 from repro.structure import silicon_nanowire
+from repro.utils.errors import ConfigurationError
 
 
 def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                            trace_path=None, jsonl_path=None,
-                           energy_batch_size: int = 2) -> dict:
+                           energy_batch_size: int = 2,
+                           backend: str = "thread") -> dict:
     """Run the traced production loop and collect every report input.
 
     Parameters
     ----------
-    num_nodes : simulated nodes behind the thread runner (one Perfetto
-        track group each).
+    num_nodes : simulated nodes behind the runner (one Perfetto track
+        group each).
     smoke : shrink to one bias point and one SCF iteration (CI budget).
     trace_path, jsonl_path : optional export destinations; exports are
         skipped when omitted.
     energy_batch_size : fixed batch size (> 0; never ``"auto"`` — see
         the module docstring).
+    backend : ``"thread"`` (the default: a fault-protected
+        :class:`~repro.runtime.ResilientTaskRunner` over threads) or
+        ``"process"`` (a bare
+        :class:`~repro.parallel.ProcessTaskRunner` — the resilient
+        wrapper's guarded closures cannot cross the pickle boundary, so
+        the process demo exercises the merge path instead of retries).
+        Either way the same reconciliation must hold exactly.
 
     Returns a dict with the production ``result``, the ``tracer``, its
     ``spans``/``metrics``, the runner ``telemetry``, the span-derived
@@ -72,17 +81,28 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
     scf_kwargs = dict(max_iter=1 if smoke else 2, tol=5e-3,
                       mixing=0.3, density_scale=0.02)
 
-    runner = ResilientTaskRunner(ThreadTaskRunner(num_workers=num_nodes),
-                                 max_retries=1)
+    if backend == "process":
+        from repro.parallel import ProcessTaskRunner
+        runner = ProcessTaskRunner(num_workers=num_nodes)
+    elif backend == "thread":
+        runner = ResilientTaskRunner(
+            ThreadTaskRunner(num_workers=num_nodes), max_retries=1)
+    else:
+        raise ConfigurationError(
+            f"demo backend must be 'thread' or 'process', got {backend!r}")
     tracer = SpanTracer()
-    with tracing(tracer):
-        with ledger_scope() as ledger:
-            result = run_production(
-                wire, basis, num_cells=4, bias_points=bias_points,
-                mu_source=e_lo + 0.3, e_window=e_window,
-                num_k=1, num_nodes=num_nodes,
-                scf_kwargs=scf_kwargs, task_runner=runner,
-                energy_batch_size=int(energy_batch_size))
+    try:
+        with tracing(tracer):
+            with ledger_scope() as ledger:
+                result = run_production(
+                    wire, basis, num_cells=4, bias_points=bias_points,
+                    mu_source=e_lo + 0.3, e_window=e_window,
+                    num_k=1, num_nodes=num_nodes,
+                    scf_kwargs=scf_kwargs, task_runner=runner,
+                    energy_batch_size=int(energy_batch_size))
+    finally:
+        if hasattr(runner, "close"):
+            runner.close()
 
     spans = tracer.records()
     totals = phase_totals(spans)

@@ -181,6 +181,35 @@ class SpanTracer:
         return self.emit(name, category=category, t_start=now, t_stop=now,
                          worker=worker, attrs=attrs)
 
+    def absorb(self, span_dicts, parent_id: int | None = None) -> list:
+        """Adopt spans recorded by another tracer (e.g. a worker process).
+
+        ``span_dicts`` are :meth:`Span.as_dict` records.  Every span gets
+        a fresh id from this tracer's sequence; the parent/child links
+        *within* the absorbed batch are remapped accordingly, and spans
+        that were roots in the source tracer are attached to
+        ``parent_id`` (default: the caller's current scope), so a worker
+        task's span tree hangs under the parent-side span that dispatched
+        it.  Returns the adopted :class:`Span` objects.
+        """
+        if not self.enabled:
+            return []
+        if parent_id is None:
+            parent_id = self.current_parent_id()
+        spans = [Span.from_dict(d) if isinstance(d, dict) else d
+                 for d in span_dicts]
+        remap: dict = {}
+        with self._lock:
+            for sp in spans:
+                old = sp.span_id
+                sp.span_id = self._next_id
+                self._next_id += 1
+                remap[old] = sp.span_id
+            for sp in spans:
+                sp.parent_id = remap.get(sp.parent_id, parent_id)
+            self.spans.extend(spans)
+        return spans
+
     # -- access -------------------------------------------------------------
 
     def records(self) -> list:

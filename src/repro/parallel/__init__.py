@@ -20,9 +20,14 @@ from repro.parallel.topology import (
     allocate_nodes_to_momentum,
     distribute_items,
     build_distribution,
+    weighted_shares,
 )
 from repro.parallel.balancer import DynamicLoadBalancer
 from repro.parallel.executor import ThreadTaskRunner
+from repro.parallel.process import ProcessTaskRunner
+from repro.parallel.serialization import TaskDescriptor, descriptor_of
+from repro.parallel.backend import (BACKENDS, close_task_runner,
+                                    make_task_runner)
 
 __all__ = [
     "FakeComm",
@@ -31,6 +36,13 @@ __all__ = [
     "allocate_nodes_to_momentum",
     "distribute_items",
     "build_distribution",
+    "weighted_shares",
     "DynamicLoadBalancer",
     "ThreadTaskRunner",
+    "ProcessTaskRunner",
+    "TaskDescriptor",
+    "descriptor_of",
+    "BACKENDS",
+    "make_task_runner",
+    "close_task_runner",
 ]

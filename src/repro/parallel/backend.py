@@ -1,0 +1,65 @@
+"""Task-runner backend selection: one string, three execution models.
+
+``make_task_runner("thread", 4)`` is the single place that maps the
+user-facing ``backend=`` argument of :func:`repro.core.compute_spectrum`
+(and the CLI's ``--backend``) onto a concrete runner:
+
+* ``"serial"`` — no runner at all (``None``): tasks execute inline in
+  the caller, the reference path every other backend must bit-match;
+* ``"thread"`` — :class:`~repro.parallel.executor.ThreadTaskRunner`,
+  simulated nodes on threads (NumPy releases the GIL, so solves overlap);
+* ``"process"`` — :class:`~repro.parallel.process.ProcessTaskRunner`,
+  worker OS processes fed picklable task descriptors, with elastic
+  straggler-aware scheduling and a spare-worker reserve.
+
+Owned-runner lifecycle: callers that create a runner through this
+factory should ``close_task_runner`` it when done — a no-op for the
+serial/thread backends, a pool shutdown for the process backend.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.executor import ThreadTaskRunner
+from repro.parallel.process import ProcessTaskRunner
+from repro.utils.errors import ConfigurationError
+
+#: backends accepted by :func:`make_task_runner` (and the CLI)
+BACKENDS = ("serial", "thread", "process")
+
+
+def make_task_runner(backend: str, num_workers: int | None = None,
+                     fault_injector=None, **kwargs):
+    """Build the task runner for ``backend``.
+
+    Parameters
+    ----------
+    backend : one of :data:`BACKENDS`.
+    num_workers : worker count (default 1; ignored for ``"serial"``).
+    fault_injector : forwarded to the runner when it takes one.
+    **kwargs : backend-specific extras (e.g. ``spare_workers=`` or
+        ``balancer=`` for the process backend).
+
+    Returns ``None`` for ``"serial"`` — the convention the execution
+    layer already treats as "run inline".
+    """
+    backend = str(backend).lower()
+    if backend not in BACKENDS:
+        raise ConfigurationError(
+            f"unknown backend {backend!r}; choose from {BACKENDS}")
+    workers = 1 if num_workers is None else int(num_workers)
+    if backend != "serial" and workers < 1:
+        raise ConfigurationError("num_workers must be >= 1")
+    if backend == "serial":
+        return None
+    if backend == "thread":
+        return ThreadTaskRunner(workers, fault_injector=fault_injector,
+                                **kwargs)
+    return ProcessTaskRunner(workers, fault_injector=fault_injector,
+                             **kwargs)
+
+
+def close_task_runner(runner) -> None:
+    """Release a runner built by :func:`make_task_runner` (idempotent)."""
+    close = getattr(runner, "close", None)
+    if callable(close):
+        close()

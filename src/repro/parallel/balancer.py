@@ -14,17 +14,29 @@ import numpy as np
 
 from repro.observability.spans import current_tracer
 from repro.parallel.topology import (allocate_nodes_to_momentum,
-                                     build_distribution, distribute_items)
+                                     build_distribution, distribute_items,
+                                     weighted_shares)
 from repro.utils.errors import ConfigurationError
 
 
 class DynamicLoadBalancer:
-    """Re-allocates nodes to momenta from measured iteration timings."""
+    """Re-allocates nodes to momenta from measured iteration timings.
+
+    Beyond the per-k node allocation, the balancer also carries a
+    *worker-level* speed model (:meth:`record_worker_times` /
+    :meth:`node_weight`) so elastic runners can hand measured-slow
+    workers fewer (k, E) units, and an optional spare-node reserve
+    (``spare_nodes``) so :meth:`quarantine_node` replaces a dead node
+    from the bench instead of shrinking the pool.
+    """
 
     def __init__(self, num_nodes: int, energies_per_k,
-                 nodes_per_solver: int = 1, smoothing: float = 0.5):
+                 nodes_per_solver: int = 1, smoothing: float = 0.5,
+                 spare_nodes: int = 0):
         if not 0.0 <= smoothing < 1.0:
             raise ConfigurationError("smoothing must be in [0, 1)")
+        if spare_nodes < 0:
+            raise ConfigurationError("spare_nodes must be >= 0")
         self.num_nodes = num_nodes
         self.energies_per_k = [int(n) for n in energies_per_k]
         self.nodes_per_solver = nodes_per_solver
@@ -37,6 +49,12 @@ class DynamicLoadBalancer:
         self.history = []
         #: nodes removed from the pool by the fault-tolerance layer
         self.quarantined = []
+        #: reserve node names promoted on quarantine (FIFO)
+        self.spare_pool = [f"spare{i}" for i in range(spare_nodes)]
+        #: spares promoted into service, in promotion order
+        self.promoted = []
+        #: EMA units/second per worker node (elastic weighting input)
+        self.node_speed: dict = {}
         self._dist = None
 
     def _invalidate(self):
@@ -113,16 +131,35 @@ class DynamicLoadBalancer:
         per_k = np.maximum(per_k, 1e-9)
         return self.record_iteration(per_k / dist.nodes_per_k)
 
-    def quarantine_node(self, node) -> None:
+    def quarantine_node(self, node) -> str | None:
         """Remove one (permanently failed) node from the allocation pool.
 
-        The next :meth:`current_distribution` re-spreads the work over
-        the surviving nodes.  Raises if the pool would no longer host one
-        solver group per momentum.
+        When the reserve has a spare, it is promoted in the dead node's
+        place and the pool size is unchanged; the promoted name is
+        returned so runners can start scheduling onto it.  With an empty
+        reserve the pool shrinks (returns ``None``) and the next
+        :meth:`current_distribution` re-spreads the work over the
+        survivors — raising if they could no longer host one solver
+        group per momentum.
         """
         node = str(node)
         if node in self.quarantined:
-            return
+            return None
+        tracer = current_tracer()
+        if self.spare_pool:
+            promoted = self.spare_pool.pop(0)
+            self.quarantined.append(node)
+            self.promoted.append(promoted)
+            self.node_speed.pop(node, None)
+            self._invalidate()
+            if tracer is not None:
+                tracer.metrics.labeled("balancer_quarantined").inc(node)
+                tracer.metrics.labeled("spares_promoted").inc(promoted)
+                tracer.instant("spare-promoted", category="balancer",
+                               attrs={"quarantined": node,
+                                      "promoted": promoted,
+                                      "pool_size": self.num_nodes})
+            return promoted
         survivors = self.num_nodes - 1
         if survivors // self.nodes_per_solver < len(self.energies_per_k):
             raise ConfigurationError(
@@ -131,13 +168,50 @@ class DynamicLoadBalancer:
                 f"{self.nodes_per_solver} node(s)")
         self.quarantined.append(node)
         self.num_nodes = survivors
+        self.node_speed.pop(node, None)
         self._invalidate()
-        tracer = current_tracer()
         if tracer is not None:
             tracer.metrics.labeled("balancer_quarantined").inc(node)
             tracer.instant("quarantine", category="balancer",
                            attrs={"node": node,
                                   "survivors": survivors})
+        return None
+
+    # -- worker-level elasticity ---------------------------------------------
+
+    def record_worker_times(self, times_by_node) -> None:
+        """Fold measured per-unit wall times into the worker speed model.
+
+        ``times_by_node`` maps node name -> list of per-task seconds (a
+        scalar is accepted too).  Speeds are EMA-smoothed with the same
+        ``smoothing`` as the k-level work model, so one noisy batch does
+        not whipsaw the shares.
+        """
+        for node, seconds in times_by_node.items():
+            vals = np.atleast_1d(np.asarray(seconds, dtype=float))
+            vals = vals[np.isfinite(vals) & (vals > 0)]
+            if vals.size == 0:
+                continue
+            speed = 1.0 / float(vals.mean())
+            prev = self.node_speed.get(str(node))
+            self.node_speed[str(node)] = speed if prev is None else \
+                self.smoothing * prev + (1.0 - self.smoothing) * speed
+
+    def node_weight(self, node) -> float:
+        """Relative share weight of one worker (1.0 until measured)."""
+        return float(self.node_speed.get(str(node), 1.0))
+
+    def worker_shares(self, total: int, nodes) -> dict:
+        """Units per worker for ``total`` tasks, speed-proportional.
+
+        The straggler-aware half of elastic scheduling: a node measured
+        at half speed gets about half the units.  Exact by largest-
+        remainder rounding.
+        """
+        nodes = [str(n) for n in nodes]
+        shares = weighted_shares(total, [self.node_weight(n)
+                                         for n in nodes])
+        return dict(zip(nodes, shares))
 
     def apply_telemetry(self, telemetry) -> list:
         """Quarantine every node a runner's telemetry reports dead.

@@ -10,7 +10,7 @@ so rank programs also overlap in time.
 from __future__ import annotations
 
 import threading
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import FIRST_EXCEPTION, ThreadPoolExecutor, wait
 
 from repro.utils.errors import ConfigurationError, ReproError
 
@@ -125,7 +125,14 @@ class FakeComm:
 def run_spmd(num_ranks: int, fn, timeout: float = 120.0) -> list:
     """Run ``fn(comm)`` on ``num_ranks`` threads; returns per-rank results.
 
-    Any rank raising aborts the whole program (the MPI_Abort analogue).
+    Any rank raising aborts the whole program (the MPI_Abort analogue)
+    *promptly*: the futures are watched with
+    ``wait(..., return_when=FIRST_EXCEPTION)``, so a failing rank breaks
+    the shared barrier immediately and ranks blocked in a collective are
+    released with a ``BrokenBarrierError`` instead of holding the join
+    for the full ``timeout``.  (Gathering ``f.result(timeout=...)`` in
+    submission order — the previous implementation — made every failure
+    behind a barrier cost the whole 120 s default.)
     """
     if num_ranks < 1:
         raise ConfigurationError("num_ranks must be >= 1")
@@ -137,15 +144,23 @@ def run_spmd(num_ranks: int, fn, timeout: float = 120.0) -> list:
 
     with ThreadPoolExecutor(max_workers=num_ranks) as pool:
         futures = [pool.submit(worker, r) for r in range(num_ranks)]
-        results = []
-        for f in futures:
-            try:
-                results.append(f.result(timeout=timeout))
-            except Exception as exc:
-                coll.barrier.abort()
-                for g in futures:
-                    g.cancel()
-                if isinstance(exc, ReproError):
-                    raise
-                raise ReproError(f"SPMD rank failed: {exc!r}") from exc
+        done, not_done = wait(futures, timeout=timeout,
+                              return_when=FIRST_EXCEPTION)
+        failed = next((f for f in futures
+                       if f.done() and f.exception() is not None), None)
+        if failed is not None or not_done:
+            # MPI_Abort: break the rendezvous so blocked ranks unwind
+            # now, then let the pool join the (briefly) erroring threads
+            coll.barrier.abort()
+            for g in futures:
+                g.cancel()
+            if failed is None:
+                raise ReproError(
+                    f"SPMD program timed out after {timeout} s "
+                    f"({len(not_done)} of {num_ranks} ranks unfinished)")
+            exc = failed.exception()
+            if isinstance(exc, ReproError):
+                raise exc
+            raise ReproError(f"SPMD rank failed: {exc!r}") from exc
+        results = [f.result() for f in futures]
     return results

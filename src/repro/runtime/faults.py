@@ -103,7 +103,8 @@ class FaultInjector:
     order, only on ``(task_index, attempt)``.
     """
 
-    def __init__(self, profile: FaultProfile | None = None, **knobs):
+    def __init__(self, profile: FaultProfile | None = None, nodes=None,
+                 **knobs):
         if profile is None:
             profile = FaultProfile(**knobs)
         elif knobs:
@@ -111,6 +112,10 @@ class FaultInjector:
                 "pass either a FaultProfile or keyword knobs, not both")
         self.profile = profile
         self._dead_permanent: set = set()
+        #: declared node universe (optional) plus every node ever seen
+        #: by :meth:`inject` — what resilience layers fall back to when
+        #: the wrapped runner exposes no worker count
+        self._nodes: set = set(str(n) for n in nodes) if nodes else set()
         self._lock = threading.Lock()
         self.stats = defaultdict(int)
 
@@ -144,6 +149,7 @@ class FaultInjector:
         (0.0 for a healthy attempt).
         """
         with self._lock:
+            self._nodes.add(str(node))
             if node in self._dead_permanent:
                 self.stats["quarantine_hits"] += 1
                 raise NodeFailureError(
@@ -189,6 +195,13 @@ class FaultInjector:
     def quarantined_nodes(self) -> list:
         with self._lock:
             return sorted(self._dead_permanent)
+
+    def node_universe(self) -> list:
+        """Every node this injector knows about: the declared ``nodes``
+        plus every node an :meth:`inject` call ever named (quarantined
+        ones included — they are still machines in the room)."""
+        with self._lock:
+            return sorted(self._nodes | self._dead_permanent)
 
     # -- performance-model hooks --------------------------------------------
 

@@ -18,6 +18,7 @@ run, and the discarded work shows up as ``wasted_flops`` instead.
 from __future__ import annotations
 
 import time
+import warnings
 
 from repro.linalg.flops import FlopLedger, current_ledger, ledger_scope
 from repro.observability.metrics import MetricsRegistry
@@ -163,6 +164,12 @@ class RunTelemetry:
         if snap:
             self.metrics.merge_snapshot(snap)
 
+    @classmethod
+    def from_snapshot(cls, snap: dict) -> "RunTelemetry":
+        """A telemetry view over a shipped metrics snapshot (the form a
+        worker process sends home)."""
+        return cls(MetricsRegistry.from_snapshot(snap))
+
     @property
     def traced_flops(self) -> int:
         return int(sum(self.stage_flops.values()))
@@ -255,8 +262,30 @@ class ResilientTaskRunner:
 
     @property
     def num_workers(self) -> int:
-        """Simulated node count behind the wrapped runner."""
-        return int(getattr(self.task_runner, "num_workers", 1))
+        """Simulated node count behind the wrapped runner.
+
+        Retries reschedule round-robin over this many nodes, so the
+        fallback when the wrapped runner exposes no ``num_workers``
+        matters: a fallback of 1 would land every retry back on the same
+        simulated node, defeating the "retry on a fresh node" contract.
+        The fallback therefore derives from the fault injector's node
+        universe when one is known, and otherwise assumes
+        ``max_retries + 1`` distinct nodes — enough for every attempt of
+        a task to run on a fresh node — with an explicit warning.
+        """
+        n = getattr(self.task_runner, "num_workers", None)
+        if n is not None:
+            return int(n)
+        if self.fault_injector is not None:
+            universe = self.fault_injector.node_universe()
+            if universe:
+                return len(universe)
+        fallback = self.max_retries + 1
+        warnings.warn(
+            f"wrapped task runner exposes no num_workers; assuming "
+            f"{fallback} simulated node(s) so retries still move to "
+            f"fresh nodes", RuntimeWarning, stacklevel=2)
+        return fallback
 
     @property
     def task_times(self) -> list:
@@ -311,9 +340,14 @@ class ResilientTaskRunner:
                 except self.retry_on as exc:
                     if isinstance(exc, ConfigurationError):
                         raise  # a programming error is never transient
+                    # wasted time includes the injected straggler delay:
+                    # the timeout decision above is made on
+                    # (real + delay), so the accounting must charge the
+                    # same quantity or a timed-out attempt records less
+                    # wasted time than the time that triggered it
                     self.telemetry.record_failure(
                         exc, probe.total_flops,
-                        time.perf_counter() - t0)
+                        time.perf_counter() - t0 + delay)
                     tracer = current_tracer()
                     if tracer is not None:
                         tracer.instant(

@@ -99,6 +99,45 @@ class TestComm:
         with pytest.raises(ConfigurationError):
             run_spmd(0, lambda c: None)
 
+    def test_rank_failure_aborts_promptly(self):
+        """A failing rank must break blocked ranks out of the barrier
+        immediately — not after the full (120 s default) timeout."""
+        import time
+
+        def prog(c):
+            if c.rank == 1:
+                raise ValueError("rank 1 exploded")
+            c.barrier()   # ranks 0 and 2 block here forever otherwise
+            return c.rank
+
+        t0 = time.perf_counter()
+        with pytest.raises(ReproError, match="rank 1 exploded"):
+            run_spmd(3, prog)
+        assert time.perf_counter() - t0 < 30.0
+
+    def test_repro_error_passes_through(self):
+        def prog(c):
+            raise ReproError("domain failure")
+
+        with pytest.raises(ReproError, match="domain failure"):
+            run_spmd(2, prog)
+
+    def test_timeout_reports_unfinished_ranks(self):
+        import threading
+
+        release = threading.Event()
+
+        def prog(c):
+            if c.rank == 1:
+                release.wait(5.0)
+            return c.rank
+
+        try:
+            with pytest.raises(ReproError, match="timed out"):
+                run_spmd(2, prog, timeout=0.2)
+        finally:
+            release.set()
+
 
 class TestTopology:
     def test_allocation_sums_to_nodes(self):
@@ -180,6 +219,27 @@ class TestBalancer:
             bal.record_iteration([1.0])
         with pytest.raises(ConfigurationError):
             bal.record_iteration([1.0, -1.0])
+        with pytest.raises(ConfigurationError):
+            DynamicLoadBalancer(4, [10], spare_nodes=-1)
+
+    def test_worker_speed_model_drives_shares(self):
+        bal = DynamicLoadBalancer(2, [10], smoothing=0.0)
+        bal.record_worker_times({"node0": [1.0, 1.0], "node1": [4.0]})
+        assert bal.node_weight("node0") == pytest.approx(1.0)
+        assert bal.node_weight("node1") == pytest.approx(0.25)
+        assert bal.node_weight("never-seen") == 1.0
+        shares = bal.worker_shares(10, ["node0", "node1"])
+        assert shares == {"node0": 8, "node1": 2}
+
+    def test_quarantine_promotes_spare_keeps_pool(self):
+        bal = DynamicLoadBalancer(4, [10, 10], spare_nodes=1)
+        assert bal.quarantine_node("node1") == "spare0"
+        assert bal.num_nodes == 4          # concurrency unchanged
+        assert bal.promoted == ["spare0"]
+        assert bal.spare_pool == []
+        # second quarantine finds an empty bench and shrinks
+        assert bal.quarantine_node("node2") is None
+        assert bal.num_nodes == 3
 
 
 class TestTaskRunner:

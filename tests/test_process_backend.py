@@ -1,0 +1,258 @@
+"""Tests for the multi-process backend: parity, telemetry merge, elasticity.
+
+The acceptance bar of the distributed backend: ``backend="process"``
+must produce bit-identical spectra to the serial/thread paths on the
+same inputs, its merged :class:`~repro.runtime.RunTelemetry` must
+reconcile exactly against the parent flop ledger, and the elastic
+scheduler must (a) hand measured-slow workers fewer (k, E) units and
+(b) replace a quarantined worker from the spare pool without shrinking
+the allocation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.runner import SpectrumUnitSpec, compute_spectrum
+from repro.linalg import gemm, ledger_scope
+from repro.observability.spans import SpanTracer, tracing
+from repro.parallel import (
+    DynamicLoadBalancer,
+    ProcessTaskRunner,
+    TaskDescriptor,
+    ThreadTaskRunner,
+    close_task_runner,
+    descriptor_of,
+    make_task_runner,
+    weighted_shares,
+)
+from repro.structure import linear_chain
+from repro.utils.errors import ConfigurationError, TaskExecutionError
+from tests.test_hamiltonian import single_s_basis
+
+ENERGIES = [-0.55, -0.45, -0.35, -0.25]
+
+
+def _spectrum(**kwargs):
+    return compute_spectrum(linear_chain(6, 0.25), single_s_basis(), 6,
+                            ENERGIES, obc_method="dense", solver="rgf",
+                            **kwargs)
+
+
+def _square(x):
+    """Module-level worker task (pickled by reference)."""
+    a = np.full((4, 4), float(x))
+    return float(gemm(a, a)[0, 0])
+
+
+def _boom():
+    raise ValueError("injected worker-side failure")
+
+
+@pytest.fixture(scope="module")
+def reference_spectrum():
+    return _spectrum()
+
+
+class TestParity:
+    def test_bit_identical_to_serial(self, reference_spectrum):
+        proc = _spectrum(backend="process", num_workers=2,
+                         energy_batch_size=2)
+        assert np.array_equal(reference_spectrum.transmission,
+                              proc.transmission)
+        assert np.array_equal(reference_spectrum.mode_counts,
+                              proc.mode_counts)
+
+    def test_bit_identical_to_thread_runner(self, reference_spectrum):
+        runner = ThreadTaskRunner(2)
+        thr = _spectrum(task_runner=runner, energy_batch_size=2)
+        proc = _spectrum(backend="process", num_workers=2,
+                         energy_batch_size=2)
+        assert np.array_equal(thr.transmission, proc.transmission)
+        assert np.array_equal(reference_spectrum.transmission,
+                              thr.transmission)
+
+    def test_results_and_traces_complete(self):
+        proc = _spectrum(backend="process", num_workers=2)
+        assert len(proc.results) == len(ENERGIES)
+        assert len(proc.traces) == len(ENERGIES)
+        assert proc.measured_time_per_k().shape == (1,)
+
+    def test_telemetry_reconciles_with_parent_ledger(self):
+        with ledger_scope() as led:
+            proc = _spectrum(backend="process", num_workers=2,
+                             energy_batch_size=2)
+        assert led.total_flops > 0
+        assert proc.telemetry is not None
+        assert proc.telemetry.traced_flops == led.total_flops
+        # worker flops arrive attributed to their logical node
+        assert sum(led.flops_on(f"node{i}") for i in range(2)) \
+            == led.total_flops
+
+    def test_worker_spans_absorbed_into_parent_tracer(self):
+        tracer = SpanTracer()
+        with tracing(tracer):
+            _spectrum(backend="process", num_workers=2)
+        spans = tracer.records()
+        workers = {sp.worker for sp in spans if sp.category == "task"}
+        assert workers <= {"node0", "node1"}
+        assert len(workers) >= 1
+        assert any(sp.category == "stage" for sp in spans)
+
+
+class TestDescriptors:
+    def test_spectrum_tasks_carry_descriptors(self):
+        # the serialization boundary: every spectrum task has a
+        # picklable twin recipe next to its closure
+        import pickle
+
+        spec = SpectrumUnitSpec(
+            structure=linear_chain(4, 0.25), basis=single_s_basis(),
+            num_cells=4, kz=0.0, potential=None, obc_method="dense",
+            solver="rgf", num_partitions=1, obc_kwargs=None,
+            energies=(-0.5,), kpoint_index=0, energy_indices=(0,),
+            run_token="t")
+        desc = TaskDescriptor(fn=_square, args=(3.0,))
+        assert pickle.loads(pickle.dumps(desc)).run() == desc.run()
+        assert pickle.dumps(spec)
+
+    def test_bare_module_level_callable_fallback(self):
+        from functools import partial
+
+        with ProcessTaskRunner(2) as runner:
+            out = runner([partial(_square, i) for i in range(5)])
+        assert out == [_square(i) for i in range(5)]
+
+    def test_descriptor_of_prefers_attached_descriptor(self):
+        def task():
+            return "closure"
+        task.descriptor = TaskDescriptor(fn=_square, args=(2.0,))
+        assert descriptor_of(task) is task.descriptor
+        assert descriptor_of(_square).fn is _square
+
+    def test_unpicklable_task_raises_with_hint(self):
+        cache = {"unpicklable": open(__file__)}
+        try:
+            with ProcessTaskRunner(1) as runner:
+                with pytest.raises(TaskExecutionError,
+                                   match="TaskDescriptor"):
+                    runner([lambda: cache])
+        finally:
+            cache["unpicklable"].close()
+
+    def test_worker_exception_propagates_with_traceback(self):
+        with ProcessTaskRunner(1) as runner:
+            with pytest.raises(TaskExecutionError,
+                               match="injected worker-side failure"):
+                runner([_boom])
+
+
+class TestElasticScheduling:
+    def test_slow_worker_gets_fewer_units(self):
+        runner = ProcessTaskRunner(2)
+        # node1 measured 4x slower than node0
+        runner.observe_worker_time("node0", 1.0)
+        runner.observe_worker_time("node1", 4.0)
+        plan = runner.plan_assignment(10)
+        assert plan["node0"] + plan["node1"] == 10
+        assert plan["node1"] < plan["node0"]
+        assert plan["node1"] == 2   # 10 * (1/4) / (1 + 1/4)
+
+    def test_equal_shares_before_any_measurement(self):
+        runner = ProcessTaskRunner(2)
+        assert runner.plan_assignment(10) == {"node0": 5, "node1": 5}
+
+    def test_quarantine_promotes_spare_without_shrinking(self):
+        runner = ProcessTaskRunner(3, spare_workers=2)
+        assert runner.num_workers == 3
+        promoted = runner.quarantine_worker("node1")
+        assert promoted == "spare0"
+        assert runner.num_workers == 3
+        assert runner.active_nodes == ["node0", "spare0", "node2"]
+        assert "node1" in runner.quarantined
+        plan = runner.plan_assignment(9)
+        assert set(plan) == {"node0", "spare0", "node2"}
+        assert sum(plan.values()) == 9
+
+    def test_quarantine_without_spares_shrinks(self):
+        runner = ProcessTaskRunner(2)
+        assert runner.quarantine_worker("node0") is None
+        assert runner.num_workers == 1
+        assert runner.active_nodes == ["node1"]
+
+    def test_fault_injector_quarantines_are_applied(self):
+        from repro.runtime.faults import FaultInjector
+
+        inj = FaultInjector()
+        inj.kill_node("node0")
+        runner = ProcessTaskRunner(2, fault_injector=inj,
+                                   spare_workers=1)
+        assert runner.apply_fault_quarantines() == ["spare0"]
+        assert runner.num_workers == 2
+        assert runner.apply_fault_quarantines() == []  # idempotent
+
+    def test_execution_respects_elastic_shares(self):
+        from functools import partial
+
+        with ProcessTaskRunner(2) as runner:
+            runner.observe_worker_time("node0", 1.0)
+            runner.observe_worker_time("node1", 3.0)
+            out = runner([partial(_square, i) for i in range(8)])
+        assert out == [_square(i) for i in range(8)]
+        assert runner.last_assignment["node1"] == 2
+        assert runner.last_assignment["node0"] == 6
+        by_worker = runner.telemetry.metrics.labeled("tasks_by_worker")
+        assert by_worker.values.get("node0", 0) == 6
+        assert by_worker.values.get("node1", 0) == 2
+
+    def test_balancer_owns_shares_when_given(self):
+        bal = DynamicLoadBalancer(2, [10], spare_nodes=1)
+        bal.record_worker_times({"node0": [1.0], "node1": [4.0]})
+        runner = ProcessTaskRunner(2, balancer=bal)
+        plan = runner.plan_assignment(10)
+        assert plan == {"node0": 8, "node1": 2}
+
+
+class TestBackendFactory:
+    def test_serial_is_none(self):
+        assert make_task_runner("serial") is None
+        close_task_runner(None)   # no-op
+
+    def test_thread_and_process(self):
+        thr = make_task_runner("thread", 2)
+        assert isinstance(thr, ThreadTaskRunner)
+        proc = make_task_runner("process", 2)
+        assert isinstance(proc, ProcessTaskRunner)
+        close_task_runner(thr)
+        close_task_runner(proc)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ConfigurationError):
+            make_task_runner("gpu")
+        with pytest.raises(ConfigurationError):
+            compute_spectrum(linear_chain(4, 0.25), single_s_basis(), 4,
+                             [-0.5], backend="thread",
+                             task_runner=ThreadTaskRunner(1))
+
+    def test_weighted_shares_exact_and_proportional(self):
+        assert sum(weighted_shares(17, [1, 2, 3])) == 17
+        assert weighted_shares(10, [1.0, 1.0]) == [5, 5]
+        assert weighted_shares(10, [3.0, 1.0]) == [8, 2]
+        # degenerate weights fall back to equal shares
+        assert weighted_shares(4, [0.0, 0.0]) == [2, 2]
+        with pytest.raises(ConfigurationError):
+            weighted_shares(4, [])
+
+
+class TestCheckpointTelemetryRoundTrip:
+    def test_resumed_run_carries_prior_accounting(self, tmp_path):
+        ck = tmp_path / "spectrum.npz"
+        first = _spectrum(backend="process", num_workers=2,
+                          energy_batch_size=2, checkpoint=ck)
+        attempts = first.telemetry.attempts
+        assert attempts == 2
+        # resume over the finished checkpoint: nothing re-runs, but the
+        # merged telemetry still reports the full job's attempts
+        second = _spectrum(backend="process", num_workers=2,
+                           energy_batch_size=2, checkpoint=ck)
+        assert np.array_equal(first.transmission, second.transmission)
+        assert second.telemetry.attempts == attempts

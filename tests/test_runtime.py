@@ -302,6 +302,43 @@ class TestResilientRunner:
         with pytest.raises(ConfigurationError):
             ResilientTaskRunner(backoff_factor=0.5)
 
+    def test_wasted_time_includes_straggler_delay(self):
+        """The timeout decision runs on (real + injected delay), so the
+        wasted-time accounting must charge the same quantity: an attempt
+        timed out *because* of a 10 s injected delay must record >= 10 s
+        wasted, not just the microseconds of real compute."""
+        inj = FaultInjector(straggler_prob=1.0, straggler_delay_s=10.0)
+        runner = ResilientTaskRunner(ThreadTaskRunner(1), max_retries=1,
+                                     timeout_s=1.0, fault_injector=inj)
+        with pytest.raises(TaskExecutionError):
+            runner([lambda: 0])
+        # 2 attempts, each carrying the 10 s injected delay
+        assert runner.telemetry.wasted_time_s >= 20.0
+
+    def test_num_workers_fallback_from_fault_injector(self):
+        """A wrapped runner with no num_workers must not collapse the
+        retry round-robin onto node0: the injector's node universe
+        supplies the worker count when it knows one."""
+        inj = FaultInjector(nodes=["node0", "node1", "node2"])
+        runner = ResilientTaskRunner(None, fault_injector=inj)
+        assert runner.num_workers == 3
+
+    def test_num_workers_fallback_warns_without_universe(self):
+        runner = ResilientTaskRunner(None, max_retries=3)
+        with pytest.warns(RuntimeWarning, match="num_workers"):
+            assert runner.num_workers == 4  # max_retries + 1
+
+    def test_retries_visit_distinct_nodes_under_fallback(self):
+        """With the fallback in place every attempt of a task can land
+        on a fresh node — a permanently dead node0 no longer eats all
+        the retries of sequential-fallback runs."""
+        inj = FaultInjector(nodes=[f"node{i}" for i in range(3)])
+        inj.kill_node("node0")
+        runner = ResilientTaskRunner(None, max_retries=2,
+                                     fault_injector=inj)
+        assert runner([lambda: 7]) == [7]   # retried off the dead node
+        assert runner.telemetry.retries >= 1
+
 
 @pytest.fixture(scope="module")
 def chain():
