@@ -57,6 +57,10 @@ def main(argv=None) -> int:
     reportp.add_argument("--checkpoint", default=None,
                          help="print the telemetry snapshot stored in a "
                               "checkpoint file instead")
+    reportp.add_argument("--memory", action="store_true",
+                         help="add the memory-movement view: arena reuse "
+                              "rates and predicted-vs-measured byte "
+                              "drift per stage")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
@@ -120,7 +124,10 @@ def _cmd_trace(args) -> int:
     print(f"reconciliation: flops "
           f"{'EXACT' if check['flops_exact'] else 'MISMATCH'} "
           f"({check['span_flops']:,d} span == "
-          f"{check['ledger_flops']:,d} ledger), seconds "
+          f"{check['ledger_flops']:,d} ledger), bytes "
+          f"{'EXACT' if check['bytes_exact'] else 'MISMATCH'} "
+          f"({check['span_bytes']:,d} span == "
+          f"{check['ledger_bytes']:,d} ledger), seconds "
           f"{'OK' if check['seconds_close'] else 'MISMATCH'} "
           f"(max delta {check['max_seconds_delta']:.2e} s)")
     import json
@@ -140,7 +147,8 @@ def _cmd_trace(args) -> int:
                       fh, indent=2, sort_keys=True)
         print(f"wrote {args.telemetry_out}: merged telemetry snapshot")
     print(f"[trace: {elapsed:.1f} s]")
-    return 0 if check["flops_exact"] and check["seconds_close"] else 1
+    return 0 if (check["flops_exact"] and check["bytes_exact"]
+                 and check["seconds_close"]) else 1
 
 
 def _cmd_report(args) -> int:
@@ -161,9 +169,9 @@ def _cmd_report(args) -> int:
         print("need a span JSONL file or --checkpoint",
               file=sys.stderr)
         return 2
-    from repro.observability import (activity_report, node_activity,
-                                     phase_report, phase_totals,
-                                     read_spans_jsonl)
+    from repro.observability import (activity_report, memory_report,
+                                     node_activity, phase_report,
+                                     phase_totals, read_spans_jsonl)
     spans = read_spans_jsonl(args.spans)
     if not spans:
         print(f"{args.spans} holds no spans", file=sys.stderr)
@@ -172,6 +180,9 @@ def _cmd_report(args) -> int:
     print(phase_report(phase_totals(spans)))
     print()
     print(activity_report(node_activity(spans)))
+    if args.memory:
+        print()
+        print(memory_report(spans))
     return 0
 
 

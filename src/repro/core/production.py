@@ -64,7 +64,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                    task_runner=None,
                    energy_batch_size: int = 1,
                    checkpoint=None, backend: str | None = None,
-                   num_workers: int | None = None) -> ProductionResult:
+                   num_workers: int | None = None,
+                   use_arena: bool = False) -> ProductionResult:
     """Run the full multi-bias production simulation.
 
     Parameters
@@ -95,6 +96,12 @@ def run_production(structure, basis, num_cells: int, bias_points,
         before returning.  Mutually exclusive with ``task_runner``.
     num_workers : int, optional
         Worker count for ``backend`` (default 1; ignored otherwise).
+    use_arena : bool, optional
+        Run every transport solve with a per-pipeline workspace arena
+        (see :class:`repro.linalg.arena.Workspace`): steady-state
+        energy batches reuse scratch buffers instead of allocating
+        fresh ones.  Bitwise-identical results; arena reuse statistics
+        appear as ``memory``-category span instants.
 
     Notes
     -----
@@ -142,14 +149,16 @@ def run_production(structure, basis, num_cells: int, bias_points,
                     mu_l=mu_source, mu_r=mu_source - vds,
                     e_window=e_window, num_k=num_k,
                     task_runner=task_runner,
-                    energy_batch_size=energy_batch_size, **kwargs)
+                    energy_batch_size=energy_batch_size,
+                    use_arena=use_arena, **kwargs)
                 spec = compute_spectrum(structure, basis, num_cells,
                                         energies,
                                         num_k=num_k, obc_method="dense",
                                         solver="rgf",
                                         potential=scf.potential_atom,
                                         task_runner=task_runner,
-                                        energy_batch_size=energy_batch_size)
+                                        energy_batch_size=energy_batch_size,
+                                        use_arena=use_arena)
                 current = spec.current(mu_source, mu_source - vds,
                                        temperature_k)
             points.append(BiasPoint(vds=vds, current=current,

@@ -84,6 +84,7 @@ class SpectrumUnitSpec:
     kpoint_index: int
     energy_indices: tuple
     run_token: str             # worker-side cache key, unique per run
+    use_arena: bool = False    # workspace-arena buffer reuse in SOLVE
 
 
 #: per-process device/pipeline cache of :func:`_solve_unit`, keyed
@@ -109,7 +110,8 @@ def _solve_unit(spec: SpectrumUnitSpec):
         pipe = TransportPipeline(obc_method=spec.obc_method,
                                  solver=spec.solver,
                                  num_partitions=spec.num_partitions,
-                                 obc_kwargs=spec.obc_kwargs)
+                                 obc_kwargs=spec.obc_kwargs,
+                                 use_arena=spec.use_arena)
         dev = build_device(spec.structure, spec.basis, spec.num_cells,
                            kpoint=(0.0, spec.kz))
         if spec.potential is not None:
@@ -132,7 +134,8 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                      potential=None, obc_kwargs: dict | None = None,
                      task_runner=None, energy_batch_size: int = 1,
                      checkpoint=None, backend: str | None = None,
-                     num_workers: int | None = None) -> TransportSpectrum:
+                     num_workers: int | None = None,
+                     use_arena: bool = False) -> TransportSpectrum:
     """Run the full (k, E) transport loop on a structure.
 
     Parameters
@@ -181,6 +184,11 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         ``task_runner``.
     num_workers : int, optional
         Worker count for ``backend`` (default 1; ignored otherwise).
+    use_arena : bool
+        Route batch-local solver scratch through a persistent
+        :class:`~repro.linalg.arena.Workspace` so steady-state energy
+        batches reuse buffers instead of reallocating (bitwise-identical
+        spectra; allocation telemetry via the span tracer).
 
     Notes
     -----
@@ -212,7 +220,7 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
 
     pipe = TransportPipeline(obc_method=obc_method, solver=solver,
                              num_partitions=num_partitions,
-                             obc_kwargs=obc_kwargs)
+                             obc_kwargs=obc_kwargs, use_arena=use_arena)
     caches = []
     for kz, _w in kgrid:
         dev = build_device(structure, basis, num_cells, kpoint=(0.0, kz))
@@ -265,7 +273,7 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
             num_partitions=num_partitions, obc_kwargs=obc_kwargs,
             energies=tuple(float(e) for e in energies[ies]),
             kpoint_index=ik, energy_indices=tuple(int(e) for e in ies),
-            run_token=token)
+            run_token=token, use_arena=use_arena)
         tasks.append((ui, _make_task(pipe, caches[ik],
                                      energies[ies], ik, ies, spec)))
 

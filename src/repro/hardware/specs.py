@@ -35,6 +35,8 @@ class CpuSpec:
     cores: int
     peak_dp_gflops: float
     sustained_fraction: float = 0.60
+    #: socket memory bandwidth; paper-era DDR3 nodes sat near 40 GB/s
+    bandwidth_gb_s: float = 40.0
 
 
 @dataclass(frozen=True)

@@ -8,6 +8,13 @@ active (simulated) device.  The scaling and PFlop/s experiments are driven
 by these ledgers.
 """
 
+from repro.linalg.arena import (
+    Workspace,
+    arena_scope,
+    current_arena,
+    scratch,
+    scratch_release,
+)
 from repro.linalg.flops import (
     FlopLedger,
     KernelEvent,
@@ -44,6 +51,11 @@ from repro.linalg.batched import (
 )
 
 __all__ = [
+    "Workspace",
+    "arena_scope",
+    "current_arena",
+    "scratch",
+    "scratch_release",
     "FlopLedger",
     "KernelEvent",
     "current_ledger",

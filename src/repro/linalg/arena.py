@@ -1,0 +1,245 @@
+"""Workspace arenas: reusable scratch buffers for the batched solve path.
+
+The data-centric OMEN follow-ups (Ziogas et al.) make memory traffic a
+first-class quantity; the first step is to stop *generating* avoidable
+traffic.  The batched kernels allocate fresh ``(nE, n, n)`` stacks every
+energy batch — Schur complements, rhs carries, concatenation staging,
+sigma stacks — even though a steady-state energy sweep solves thousands
+of identically-shaped batches.  A :class:`Workspace` is a dtype/shape-
+bucketed pool of those buffers with explicit checkout/release semantics:
+after the first (warm-up) batch every subsequent batch is served from
+the pool, so steady state performs **zero** large new allocations in the
+arena-managed paths (asserted by the allocation-count telemetry in
+:meth:`Workspace.stats`).
+
+Correctness over convenience:
+
+* releasing an array the workspace never handed out (or releasing it
+  twice) raises :class:`~repro.utils.errors.ArenaError`;
+* releasing a *view* into a checked-out buffer raises
+  :class:`~repro.utils.errors.ArenaAliasError` — pooled buffers must be
+  whole, never aliased slices;
+* buffers come back from the pool with stale contents by default;
+  callers that need zeroed memory declare it (``zero=True``) and the
+  optional ``poison`` debug mode NaN-fills buffers on release so any
+  read-before-overwrite bug surfaces immediately;
+* results that outlive the batch (``psi``, injection rhs) are checked
+  out with ``escape=True``: the allocation is counted in the telemetry
+  but the buffer is never pooled, so downstream holders (density,
+  current, cached boundaries) can never be corrupted by reuse.
+
+Scope plumbing mirrors the thread-local ledger idiom of
+:mod:`repro.linalg.flops`: :func:`arena_scope` installs a workspace for
+the current thread, :func:`scratch` / :func:`scratch_release` are the
+call-site helpers that degrade to plain ``np.empty``/no-op when no arena
+is active — the arena-off path allocates exactly what it always did.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.utils.errors import ArenaAliasError, ArenaError, ArenaLeakError
+
+
+class Workspace:
+    """A (shape, dtype)-bucketed scratch-buffer arena.
+
+    Parameters
+    ----------
+    name : str
+        Label used in error messages and telemetry.
+    poison : bool
+        Debug mode: NaN-fill inexact buffers on release so stale reads
+        of pooled memory fail loudly instead of silently reusing data.
+    """
+
+    def __init__(self, name: str = "workspace", poison: bool = False):
+        self.name = str(name)
+        self.poison = bool(poison)
+        self._lock = threading.RLock()
+        self._pool: dict = {}          # (shape, dtype.str) -> [ndarray]
+        self._outstanding: dict = {}   # id(arr) -> (arr, tag)
+        self.fresh = 0                 # checkouts served by np.empty
+        self.reuses = 0                # checkouts served from the pool
+        self.escaped = 0               # escape checkouts (never pooled)
+        self.released = 0
+        self.bytes_fresh = 0           # cumulative newly-allocated bytes
+        self.bytes_pooled = 0          # bytes currently parked in the pool
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def checkout(self, shape, dtype=complex, *, zero: bool = False,
+                 escape: bool = False, tag: str = "") -> np.ndarray:
+        """Hand out a buffer of ``shape``/``dtype``.
+
+        ``zero=True`` guarantees zeroed contents (pool hits are re-zeroed);
+        otherwise contents are undefined and the caller must overwrite.
+        ``escape=True`` marks a buffer that outlives the batch: it is
+        always freshly allocated, never tracked, never pooled — only
+        counted, so the telemetry still attributes the allocation.
+        """
+        shape = tuple(int(s) for s in shape)
+        dt = np.dtype(dtype)
+        if escape:
+            with self._lock:
+                self.escaped += 1
+            return np.zeros(shape, dt) if zero else np.empty(shape, dt)
+        with self._lock:
+            bucket = self._pool.get((shape, dt.str))
+            if bucket:
+                arr = bucket.pop()
+                self.reuses += 1
+                self.bytes_pooled -= arr.nbytes
+            else:
+                arr = np.empty(shape, dt)
+                self.fresh += 1
+                self.bytes_fresh += arr.nbytes
+            self._outstanding[id(arr)] = (arr, str(tag))
+        if zero:
+            arr.fill(0)
+        return arr
+
+    def release(self, arr: np.ndarray) -> None:
+        """Return a checked-out buffer to the pool.
+
+        Only the exact object handed out by :meth:`checkout` is
+        accepted; views into checked-out buffers raise
+        :class:`ArenaAliasError`, anything else (double release, foreign
+        array) raises :class:`ArenaError`.
+        """
+        if not isinstance(arr, np.ndarray):
+            raise ArenaError(
+                f"{self.name}: release expects an ndarray, got "
+                f"{type(arr).__name__}")
+        with self._lock:
+            entry = self._outstanding.get(id(arr))
+            if entry is None or entry[0] is not arr:
+                for held, tag in self._outstanding.values():
+                    if held is not arr and np.shares_memory(arr, held):
+                        raise ArenaAliasError(
+                            f"{self.name}: released array aliases the "
+                            f"checked-out buffer {held.shape} "
+                            f"(tag {tag!r}); release the whole buffer, "
+                            f"not a view")
+                raise ArenaError(
+                    f"{self.name}: array {arr.shape} was not checked "
+                    f"out here (double release or foreign array)")
+            del self._outstanding[id(arr)]
+            if self.poison and np.issubdtype(arr.dtype, np.inexact):
+                arr.fill(np.nan)
+            self._pool.setdefault((arr.shape, arr.dtype.str),
+                                  []).append(arr)
+            self.bytes_pooled += arr.nbytes
+            self.released += 1
+
+    def assert_quiescent(self) -> None:
+        """Raise :class:`ArenaLeakError` if any buffer is still out."""
+        with self._lock:
+            if self._outstanding:
+                held = ", ".join(
+                    f"{a.shape}:{t or '?'}"
+                    for a, t in self._outstanding.values())
+                raise ArenaLeakError(
+                    f"{self.name}: {len(self._outstanding)} buffer(s) "
+                    f"still checked out: {held}")
+
+    def close(self) -> None:
+        """Leak-check, then drop every pooled buffer."""
+        self.assert_quiescent()
+        with self._lock:
+            self._pool.clear()
+            self.bytes_pooled = 0
+
+    def __enter__(self) -> "Workspace":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self.close()
+
+    # -- telemetry -----------------------------------------------------------
+
+    @property
+    def outstanding(self) -> int:
+        with self._lock:
+            return len(self._outstanding)
+
+    def stats(self) -> dict:
+        """Allocation-count telemetry (JSON-serializable).
+
+        ``fresh`` is the number of checkouts that had to allocate — in
+        steady state it stops growing, which is exactly the zero-new-
+        allocations acceptance criterion; ``reuse_rate`` is the pooled
+        fraction of all non-escape checkouts.
+        """
+        with self._lock:
+            total = self.fresh + self.reuses
+            return {
+                "name": self.name,
+                "fresh": int(self.fresh),
+                "reuses": int(self.reuses),
+                "escaped": int(self.escaped),
+                "released": int(self.released),
+                "outstanding": len(self._outstanding),
+                "bytes_fresh": int(self.bytes_fresh),
+                "bytes_pooled": int(self.bytes_pooled),
+                "buckets": len(self._pool),
+                "reuse_rate": (self.reuses / total) if total else 0.0,
+            }
+
+
+# --------------------------------------------------------------------------
+# Thread-local active-arena plumbing (the ledger_scope idiom)
+# --------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def current_arena() -> Workspace | None:
+    """The workspace :func:`scratch` draws from, or ``None``."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return None
+
+
+@contextmanager
+def arena_scope(workspace: Workspace):
+    """Route :func:`scratch` calls in this thread into ``workspace``."""
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(workspace)
+    try:
+        yield workspace
+    finally:
+        stack.pop()
+
+
+def scratch(shape, dtype=complex, *, zero: bool = False,
+            escape: bool = False, tag: str = "") -> np.ndarray:
+    """Checkout from the active arena, or plain-allocate without one.
+
+    The no-arena fallback is exactly the allocation the call site would
+    otherwise perform (``np.zeros`` / ``np.empty``), so instrumented
+    code paths are bitwise unchanged when no workspace is installed.
+    """
+    ws = current_arena()
+    if ws is None:
+        dt = np.dtype(dtype)
+        shape = tuple(int(s) for s in shape)
+        return np.zeros(shape, dt) if zero else np.empty(shape, dt)
+    return ws.checkout(shape, dtype, zero=zero, escape=escape, tag=tag)
+
+
+def scratch_release(*arrays) -> None:
+    """Release buffers back to the active arena (no-op without one)."""
+    ws = current_arena()
+    if ws is None:
+        return
+    for a in arrays:
+        ws.release(a)

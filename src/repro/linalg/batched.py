@@ -54,10 +54,13 @@ def _check_stack(a: np.ndarray, name: str, square: bool = False):
 # Stacked kernels
 # --------------------------------------------------------------------------
 
-def gemm_batched(a: np.ndarray, b: np.ndarray, tag: str = "") -> np.ndarray:
+def gemm_batched(a: np.ndarray, b: np.ndarray, tag: str = "",
+                 out: np.ndarray | None = None) -> np.ndarray:
     """C[e] = A[e] @ B[e] for a whole energy stack (``zgemmBatched``).
 
     One matmul call, one ledger record of ``nE * gemm_flops(m, n, k)``.
+    ``out`` routes the product into a caller-owned (workspace) buffer —
+    same BLAS call, same bits, no fresh ``(nE, m, n)`` allocation.
     """
     a = np.asarray(a)
     b = np.asarray(b)
@@ -67,7 +70,7 @@ def gemm_batched(a: np.ndarray, b: np.ndarray, tag: str = "") -> np.ndarray:
         raise ShapeError(
             f"gemm_batched: incompatible stacks {a.shape} @ {b.shape}")
     t0 = time.perf_counter()
-    c = a @ b
+    c = np.matmul(a, b) if out is None else np.matmul(a, b, out=out)
     ne, m, k = a.shape
     n = b.shape[2]
     cx = _is_complex(a, b)
@@ -214,8 +217,16 @@ class BatchedBlockTridiag:
             [b[j] for b in self.lower])
 
     def take(self, indices) -> "BatchedBlockTridiag":
-        """Sub-batch along the energy axis (used by rhs-width bucketing)."""
+        """Sub-batch along the energy axis (used by rhs-width bucketing).
+
+        Selecting the full batch in order returns ``self`` — the common
+        single-bucket case of :meth:`TransportPipeline.solve_batch` —
+        instead of fancy-index-copying every block stack.
+        """
         idx = np.asarray(indices, dtype=int)
+        if idx.size == self.batch_size and \
+                np.array_equal(idx, np.arange(self.batch_size)):
+            return self
         return BatchedBlockTridiag(
             [b[idx] for b in self.diag],
             [b[idx] for b in self.upper],

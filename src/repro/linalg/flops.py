@@ -96,6 +96,7 @@ class FlopLedger:
     trace: bool = False
     flops_by_kernel: dict = field(default_factory=lambda: defaultdict(int))
     flops_by_device: dict = field(default_factory=lambda: defaultdict(int))
+    bytes_by_kernel: dict = field(default_factory=lambda: defaultdict(int))
     bytes_by_device: dict = field(default_factory=lambda: defaultdict(int))
     events: list = field(default_factory=list)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
@@ -107,6 +108,7 @@ class FlopLedger:
         with self._lock:
             self.flops_by_kernel[kernel] += flops
             self.flops_by_device[device] += flops
+            self.bytes_by_kernel[kernel] += bytes_moved
             self.bytes_by_device[device] += bytes_moved
             if self.trace:
                 now = time.perf_counter()
@@ -122,6 +124,11 @@ class FlopLedger:
     def total_flops(self) -> int:
         with self._lock:
             return sum(self.flops_by_device.values())
+
+    @property
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(self.bytes_by_device.values())
 
     def flops_on(self, device_prefix: str) -> int:
         """Total flops on devices whose name starts with ``device_prefix``.
@@ -140,6 +147,8 @@ class FlopLedger:
                 self.flops_by_kernel[k] += v
             for k, v in other.flops_by_device.items():
                 self.flops_by_device[k] += v
+            for k, v in other.bytes_by_kernel.items():
+                self.bytes_by_kernel[k] += v
             for k, v in other.bytes_by_device.items():
                 self.bytes_by_device[k] += v
             self.events.extend(other.events)
@@ -154,6 +163,7 @@ class FlopLedger:
         with self._lock:
             return {"flops_by_kernel": dict(self.flops_by_kernel),
                     "flops_by_device": dict(self.flops_by_device),
+                    "bytes_by_kernel": dict(self.bytes_by_kernel),
                     "bytes_by_device": dict(self.bytes_by_device)}
 
     def merge_snapshot(self, snap: dict) -> None:
@@ -163,6 +173,8 @@ class FlopLedger:
                 self.flops_by_kernel[k] += int(v)
             for k, v in snap.get("flops_by_device", {}).items():
                 self.flops_by_device[k] += int(v)
+            for k, v in snap.get("bytes_by_kernel", {}).items():
+                self.bytes_by_kernel[k] += int(v)
             for k, v in snap.get("bytes_by_device", {}).items():
                 self.bytes_by_device[k] += int(v)
 
@@ -170,6 +182,7 @@ class FlopLedger:
         with self._lock:
             self.flops_by_kernel.clear()
             self.flops_by_device.clear()
+            self.bytes_by_kernel.clear()
             self.bytes_by_device.clear()
             self.events.clear()
 

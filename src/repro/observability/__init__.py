@@ -28,6 +28,7 @@ from repro.observability.export import (read_spans_jsonl, to_chrome_trace,
 from repro.observability.metrics import (Counter, Gauge, Histogram,
                                          LabeledCounter, MetricsRegistry)
 from repro.observability.report import (RooflineStage, activity_report,
+                                        memory_report, memory_totals,
                                         node_activity, phase_report,
                                         phase_totals, reconcile,
                                         roofline_annotate, roofline_report)
@@ -55,6 +56,8 @@ __all__ = [
     "write_spans_jsonl",
     "RooflineStage",
     "activity_report",
+    "memory_report",
+    "memory_totals",
     "node_activity",
     "phase_report",
     "phase_totals",

@@ -19,6 +19,13 @@ size: failed resilient attempts would emit stage spans whose flops never
 merge into the ledger, and the ``"auto"`` batch-size probe solves one
 point outside the telemetry path — either would (correctly) break the
 exact reconciliation this demo asserts.
+
+It also runs with ``use_arena=True``: the transport pipelines reuse
+workspace-arena scratch buffers across energy batches.  The arena never
+changes what the ledger records (the same kernels run on the same
+shapes), so the flop/byte reconciliation stays exact, and the
+``memory``-category arena instants feed ``python -m repro report
+--memory``.
 """
 
 from __future__ import annotations
@@ -99,7 +106,8 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                     mu_source=e_lo + 0.3, e_window=e_window,
                     num_k=1, num_nodes=num_nodes,
                     scf_kwargs=scf_kwargs, task_runner=runner,
-                    energy_batch_size=int(energy_batch_size))
+                    energy_batch_size=int(energy_batch_size),
+                    use_arena=True)
     finally:
         if hasattr(runner, "close"):
             runner.close()
@@ -107,7 +115,8 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
     spans = tracer.records()
     totals = phase_totals(spans)
     check = reconcile(spans, runner.telemetry,
-                      ledger_total_flops=ledger.total_flops)
+                      ledger_total_flops=ledger.total_flops,
+                      ledger_total_bytes=ledger.total_bytes)
     roofline = roofline_annotate(totals, TITAN)
 
     out = {
@@ -120,6 +129,7 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
         "roofline": roofline,
         "reconciliation": check,
         "ledger_flops": int(ledger.total_flops),
+        "ledger_bytes": int(ledger.total_bytes),
         "num_nodes": int(num_nodes),
         "trace_path": None,
         "jsonl_path": None,

@@ -49,6 +49,13 @@ def phase_totals(spans, category: str = "stage") -> dict:
     return out
 
 
+def _fmt_ai(flops: int, nbytes: int) -> str:
+    """Arithmetic-intensity cell: flop/B, or a dash without traffic."""
+    if nbytes <= 0:
+        return "     --"
+    return f"{flops / nbytes:7.1f}"
+
+
 def phase_report(totals: dict, title: str = "Phase breakdown "
                  "(span-derived, Fig. 6 view)") -> str:
     lines = [title]
@@ -56,10 +63,16 @@ def phase_report(totals: dict, title: str = "Phase breakdown "
     for name, e in totals.items():
         lines.append(f"  {name:<10s} {e['seconds'] * 1e3:10.2f} ms "
                      f"({e['seconds'] / total_s:6.1%})  "
-                     f"{e['flops']:>16,d} flop  x{e['count']}")
+                     f"{e['flops']:>16,d} flop  "
+                     f"{e['bytes'] / 1e6:9.1f} MB  "
+                     f"AI {_fmt_ai(e['flops'], e['bytes'])} flop/B  "
+                     f"x{e['count']}")
     total_f = sum(e["flops"] for e in totals.values())
+    total_b = sum(e["bytes"] for e in totals.values())
     lines.append(f"  {'total':<10s} {total_s * 1e3:10.2f} ms "
-                 f"{'':>9s}{total_f:>16,d} flop")
+                 f"{'':>9s}{total_f:>16,d} flop  "
+                 f"{total_b / 1e6:9.1f} MB  "
+                 f"AI {_fmt_ai(total_f, total_b)} flop/B")
     return "\n".join(lines)
 
 
@@ -183,60 +196,134 @@ def roofline_report(annotated: dict, device_name: str = "") -> str:
     return "\n".join(lines)
 
 
-def reconcile(spans, traces, ledger_total_flops: int | None = None
-              ) -> dict:
+def reconcile(spans, traces, ledger_total_flops: int | None = None,
+              ledger_total_bytes: int | None = None) -> dict:
     """Check span-derived phase totals against the TaskTrace tables.
 
     ``traces`` is a list of :class:`~repro.pipeline.TaskTrace` objects,
     or a :class:`~repro.runtime.RunTelemetry` (whose aggregated
-    ``stage_time_s``/``stage_flops`` tables are the same sums).  Returns
-    ``{"flops_exact", "seconds_close", "span_flops", "trace_flops",
-    "ledger_flops", "max_seconds_delta", "per_stage"}``.  Flops must
-    match bit-for-bit per stage (and, when a ledger total is given, in
-    aggregate); seconds must agree within float-sum tolerance — batched
-    stages carve their wall time with largest-remainder apportionment,
-    so per-stage sums differ from the batch wall time only by rounding.
+    ``stage_time_s``/``stage_flops``/``stage_bytes`` tables are the same
+    sums).  Returns ``{"flops_exact", "bytes_exact", "seconds_close",
+    "span_flops", "trace_flops", "ledger_flops", "span_bytes",
+    "trace_bytes", "ledger_bytes", "max_seconds_delta", "per_stage"}``.
+    Flops AND bytes must match bit-for-bit per stage (and, when ledger
+    totals are given, in aggregate); seconds must agree within float-sum
+    tolerance — batched stages carve their wall time with
+    largest-remainder apportionment, so per-stage sums differ from the
+    batch wall time only by rounding.
     """
     span_totals = phase_totals(spans)
     trace_totals: dict = {}
     if hasattr(traces, "stage_flops") and hasattr(traces, "stage_time_s"):
         times = traces.stage_time_s
+        byte_table = dict(getattr(traces, "stage_bytes", {}) or {})
         for name, flops in traces.stage_flops.items():
             trace_totals[name] = {"seconds": float(times.get(name, 0.0)),
-                                  "flops": int(flops)}
+                                  "flops": int(flops),
+                                  "bytes": int(byte_table.get(name, 0))}
     else:
         for tr in traces:
             if tr is None:
                 continue
             for st in tr.stages:
-                e = trace_totals.setdefault(st.name,
-                                            {"seconds": 0.0, "flops": 0})
+                e = trace_totals.setdefault(
+                    st.name, {"seconds": 0.0, "flops": 0, "bytes": 0})
                 e["seconds"] += st.seconds
                 e["flops"] += int(st.flops)
+                e["bytes"] += int(st.meta.get("bytes", 0))
 
     per_stage = {}
     max_dt = 0.0
     flops_exact = set(span_totals) == set(trace_totals)
+    bytes_exact = flops_exact
     for name in set(span_totals) | set(trace_totals):
-        se = span_totals.get(name, {"seconds": 0.0, "flops": 0})
-        te = trace_totals.get(name, {"seconds": 0.0, "flops": 0})
+        se = span_totals.get(name, {"seconds": 0.0, "flops": 0, "bytes": 0})
+        te = trace_totals.get(name, {"seconds": 0.0, "flops": 0, "bytes": 0})
         dt = abs(se["seconds"] - te["seconds"])
         exact = se["flops"] == te["flops"]
+        b_exact = se["bytes"] == te["bytes"]
         flops_exact = flops_exact and exact
+        bytes_exact = bytes_exact and b_exact
         max_dt = max(max_dt, dt)
-        per_stage[name] = {"flops_exact": exact, "seconds_delta": dt}
+        per_stage[name] = {"flops_exact": exact, "bytes_exact": b_exact,
+                           "seconds_delta": dt}
 
     span_flops = sum(e["flops"] for e in span_totals.values())
     trace_flops = sum(e["flops"] for e in trace_totals.values())
+    span_bytes = sum(e["bytes"] for e in span_totals.values())
+    trace_bytes = sum(e["bytes"] for e in trace_totals.values())
     total_s = sum(e["seconds"] for e in span_totals.values())
     tol = 1e-9 * max(total_s, 1.0) * max(len(per_stage), 1) * 64
     if ledger_total_flops is not None:
         flops_exact = flops_exact and span_flops == int(ledger_total_flops)
+    if ledger_total_bytes is not None:
+        bytes_exact = bytes_exact and span_bytes == int(ledger_total_bytes)
     return {"flops_exact": bool(flops_exact),
+            "bytes_exact": bool(bytes_exact),
             "seconds_close": bool(max_dt <= tol),
             "span_flops": int(span_flops),
             "trace_flops": int(trace_flops),
             "ledger_flops": (None if ledger_total_flops is None
                              else int(ledger_total_flops)),
+            "span_bytes": int(span_bytes),
+            "trace_bytes": int(trace_bytes),
+            "ledger_bytes": (None if ledger_total_bytes is None
+                             else int(ledger_total_bytes)),
             "max_seconds_delta": float(max_dt),
             "per_stage": per_stage}
+
+
+def memory_totals(spans, tolerance: float = 0.05) -> dict:
+    """Memory-movement view of a traced run.
+
+    Returns ``{"arena", "stages"}``: the latest workspace-arena counters
+    (from the ``category="memory"`` instants the pipeline emits after
+    each batch) and, per stage span that carried a byte-model
+    prediction, a :func:`~repro.perfmodel.bytemodel.byte_drift` verdict
+    of measured vs predicted traffic.
+    """
+    from repro.perfmodel.bytemodel import byte_drift
+    arena: dict = {}
+    stages: dict = {}
+    for sp in spans:
+        if sp.category == "memory" and sp.name == "arena":
+            arena = dict(sp.attrs)   # last instant wins: counters are
+            continue                 # cumulative over the workspace life
+        if sp.category != "stage":
+            continue
+        predicted = int(sp.attrs.get("predicted_bytes", 0))
+        if predicted <= 0:
+            continue
+        e = stages.setdefault(sp.name, {"measured": 0, "predicted": 0})
+        e["measured"] += int(sp.bytes_moved)
+        e["predicted"] += predicted
+    for name, e in stages.items():
+        e.update(byte_drift(e["measured"], e["predicted"], tolerance))
+    return {"arena": arena, "stages": stages}
+
+
+def memory_report(spans, tolerance: float = 0.05) -> str:
+    """Human-readable :func:`memory_totals`: arena reuse + byte drift."""
+    mt = memory_totals(spans, tolerance)
+    lines = ["Memory movement (byte-aware dataflow view)"]
+    arena = mt["arena"]
+    if arena:
+        lines.append(
+            f"  arena {arena.get('name', '?')}: "
+            f"{arena.get('reuses', 0)} reuses / "
+            f"{arena.get('fresh', 0)} fresh / "
+            f"{arena.get('escaped', 0)} escaped  "
+            f"(reuse rate {float(arena.get('reuse_rate', 0.0)):.1%}, "
+            f"{int(arena.get('bytes_pooled', 0)) / 1e6:.1f} MB pooled)")
+    else:
+        lines.append("  arena: not active (run with use_arena=True)")
+    if mt["stages"]:
+        for name, e in mt["stages"].items():
+            flag = "DRIFT" if e["drifting"] else "ok"
+            lines.append(
+                f"  {name:<10s} measured {e['measured'] / 1e6:9.1f} MB  "
+                f"predicted {e['predicted'] / 1e6:9.1f} MB  "
+                f"ratio {e['ratio']:6.3f}  [{flag}]")
+    else:
+        lines.append("  no stage carried a byte-model prediction")
+    return "\n".join(lines)

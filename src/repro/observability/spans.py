@@ -30,7 +30,7 @@ from repro.observability.metrics import MetricsRegistry
 
 #: span categories used by the built-in instrumentation sites
 CATEGORIES = ("bias", "scf", "task", "stage", "kernel", "fault",
-              "balancer")
+              "balancer", "memory")
 
 
 @dataclass

@@ -55,6 +55,14 @@ class DynamicLoadBalancer:
         self.promoted = []
         #: EMA units/second per worker node (elastic weighting input)
         self.node_speed: dict = {}
+        #: node -> (peak flop/s, bandwidth byte/s) hardware profile;
+        #: lets :meth:`worker_shares` weigh workers by their roofline-
+        #: attainable rate for the workload's arithmetic intensity
+        self.node_profile: dict = {}
+        #: measured kernel traffic per momentum (summed from task traces)
+        self.bytes_per_k = np.zeros(len(self.energies_per_k))
+        #: measured flops per momentum (summed from task traces)
+        self.flops_per_k = np.zeros(len(self.energies_per_k))
         self._dist = None
 
     def _invalidate(self):
@@ -122,6 +130,9 @@ class DynamicLoadBalancer:
             ik = getattr(tr, "kpoint_index", -1)
             if 0 <= ik < per_k.size:
                 per_k[ik] += tr.total_seconds
+                self.flops_per_k[ik] += tr.total_flops
+                self.bytes_per_k[ik] += sum(
+                    int(st.meta.get("bytes", 0)) for st in tr.stages)
                 hits += 1
         if hits == 0:
             return None
@@ -201,16 +212,68 @@ class DynamicLoadBalancer:
         """Relative share weight of one worker (1.0 until measured)."""
         return float(self.node_speed.get(str(node), 1.0))
 
-    def worker_shares(self, total: int, nodes) -> dict:
-        """Units per worker for ``total`` tasks, speed-proportional.
+    def set_node_profile(self, node, peak_flops: float,
+                         bandwidth_bytes_s: float) -> None:
+        """Register one worker's hardware roofline (flop/s, byte/s)."""
+        if peak_flops <= 0 or bandwidth_bytes_s <= 0:
+            raise ConfigurationError(
+                "node profile needs positive peak_flops and bandwidth")
+        self.node_profile[str(node)] = (float(peak_flops),
+                                        float(bandwidth_bytes_s))
 
-        The straggler-aware half of elastic scheduling: a node measured
-        at half speed gets about half the units.  Exact by largest-
-        remainder rounding.
+    def node_capability(self, node, intensity: float | None = None):
+        """Roofline-attainable flop rate of one worker for a workload.
+
+        ``intensity`` is the workload's arithmetic intensity in flop per
+        byte; the attainable rate is ``min(peak, intensity *
+        bandwidth)``.  Returns ``None`` when the node has no profile or
+        no intensity is given (the caller falls back to speed-only
+        weighting).
+        """
+        prof = self.node_profile.get(str(node))
+        if prof is None or intensity is None or intensity <= 0:
+            return None
+        peak, bw = prof
+        return min(peak, float(intensity) * bw)
+
+    def measured_intensity(self) -> float | None:
+        """Arithmetic intensity of the traced work so far (flop/byte)."""
+        b = float(self.bytes_per_k.sum())
+        if b <= 0:
+            return None
+        return float(self.flops_per_k.sum()) / b
+
+    def worker_shares(self, total: int, nodes, flops: float | None = None,
+                      bytes_moved: float | None = None) -> dict:
+        """Units per worker for ``total`` tasks, movement-aware.
+
+        Speed-proportional by default (the straggler-aware half of
+        elastic scheduling: a node measured at half speed gets about
+        half the units).  When the workload's ``flops`` and
+        ``bytes_moved`` are given — or traces have been recorded — and
+        workers carry :meth:`set_node_profile` rooflines, each speed
+        weight is additionally scaled by the node's attainable rate at
+        that arithmetic intensity: a memory-bound bucket shifts units
+        toward high-bandwidth nodes even when measured speeds are equal.
+        Exact by largest-remainder rounding.
         """
         nodes = [str(n) for n in nodes]
-        shares = weighted_shares(total, [self.node_weight(n)
-                                         for n in nodes])
+        intensity = None
+        if flops is not None and bytes_moved is not None \
+                and float(bytes_moved) > 0:
+            intensity = float(flops) / float(bytes_moved)
+        elif flops is None and bytes_moved is None:
+            intensity = self.measured_intensity()
+        weights = [self.node_weight(n) for n in nodes]
+        caps = [self.node_capability(n, intensity) for n in nodes]
+        known = [c for c in caps if c is not None]
+        if known:
+            # unprofiled nodes are priced at the mean profiled
+            # capability so a partial profile set never starves them
+            mean_cap = float(np.mean(known))
+            weights = [w * ((c if c is not None else mean_cap) / mean_cap)
+                       for w, c in zip(weights, caps)]
+        shares = weighted_shares(total, weights)
         return dict(zip(nodes, shares))
 
     def apply_telemetry(self, telemetry) -> list:

@@ -13,6 +13,16 @@ from repro.perfmodel.costmodel import (
     measure_flops,
     extrapolate_flops,
 )
+from repro.perfmodel.bytemodel import (
+    gemm_bytes,
+    lu_factor_bytes,
+    lu_solve_bytes,
+    solve_bytes,
+    rgf_byte_model,
+    rgf_batched_byte_model,
+    splitsolve_byte_model,
+    byte_drift,
+)
 from repro.perfmodel.scaling import (
     WeakScalingRow,
     weak_scaling_table,
@@ -26,6 +36,14 @@ __all__ = [
     "rgf_batched_flop_model",
     "measure_flops",
     "extrapolate_flops",
+    "gemm_bytes",
+    "lu_factor_bytes",
+    "lu_solve_bytes",
+    "solve_bytes",
+    "rgf_byte_model",
+    "rgf_batched_byte_model",
+    "splitsolve_byte_model",
+    "byte_drift",
     "WeakScalingRow",
     "weak_scaling_table",
     "strong_scaling_table",

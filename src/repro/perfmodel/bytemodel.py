@@ -1,0 +1,198 @@
+"""Exact per-kernel byte cost models, validated against the ledger.
+
+The flop models in :mod:`repro.perfmodel.costmodel` transcribe the kernel
+sequence of each solver and count arithmetic; this module walks the same
+sequence and counts the bytes each instrumented kernel *records* —
+operands in, results out, exactly the ``nbytes`` sums the wrappers in
+:mod:`repro.linalg.kernels` and :mod:`repro.linalg.batched` report to the
+:class:`~repro.linalg.flops.FlopLedger`.  Predicted bytes therefore
+reconcile with measured ledger bytes the same way predicted flops do:
+exactly for RGF (the model accepts the true per-block sizes), and
+kernel-for-kernel for single-partition SplitSolve on uniform blocks.
+
+These are *traffic* models in the roofline sense: together with the flop
+models they give every stage an analytic arithmetic intensity, which is
+what the movement-aware scheduler and the drift check in
+:func:`repro.perfmodel.roofline.workload_roofline` consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+#: bytes per element
+_ITEMSIZE_COMPLEX = 16   # complex128
+_ITEMSIZE_REAL = 8       # float64
+
+
+def _itemsize(is_complex: bool) -> int:
+    return _ITEMSIZE_COMPLEX if is_complex else _ITEMSIZE_REAL
+
+
+def gemm_bytes(m: int, n: int, k: int, is_complex: bool = True) -> int:
+    """Bytes one ``gemm`` records for C(m,n) = A(m,k) B(k,n): a + b + c."""
+    return (m * k + k * n + m * n) * _itemsize(is_complex)
+
+
+def lu_factor_bytes(n: int, is_complex: bool = True) -> int:
+    """Bytes one ``lu_factor`` records: the matrix read + factors written."""
+    return 2 * n * n * _itemsize(is_complex)
+
+
+def lu_solve_bytes(n: int, nrhs: int, is_complex: bool = True) -> int:
+    """Bytes one ``lu_solve`` records: rhs read + solution written."""
+    return 2 * n * nrhs * _itemsize(is_complex)
+
+
+def solve_bytes(n: int, nrhs: int, is_complex: bool = True) -> int:
+    """Bytes one ``solve`` (``gesv``/``hesv``) records: a + b + x."""
+    return (n * n + 2 * n * nrhs) * _itemsize(is_complex)
+
+
+def _block_sizes(num_blocks: int, block_size) -> list:
+    """Normalize an int-or-sequence block size spec to a per-block list."""
+    if np.isscalar(block_size):
+        return [int(block_size)] * num_blocks
+    sizes = [int(s) for s in block_size]
+    if len(sizes) != num_blocks:
+        raise ConfigurationError(
+            f"{len(sizes)} block sizes for {num_blocks} blocks")
+    return sizes
+
+
+def rgf_byte_model(num_blocks: int, block_size, num_rhs: int,
+                   is_complex: bool = True) -> int:
+    """Bytes of one RGF (block Thomas) solve with ``num_rhs`` columns.
+
+    An exact transcription of the kernel sequence of
+    :func:`repro.solvers.rgf.solve_rgf` — and, slice for slice, of
+    :func:`~repro.solvers.rgf.solve_rgf_batched`, whose stacked kernels
+    record exactly ``nE`` times the per-slice bytes.  ``block_size`` may
+    be an int (uniform blocks) or the true per-block size sequence, in
+    which case the count matches the measured ledger bytes to the byte
+    on non-uniform devices too.
+
+    Per backward-sweep step at block ``i`` (sizes ``s_i``, rhs width
+    ``m``): one block solve with ``s_i + m`` columns against the
+    ``s_{i+1}`` factor, the Schur gemm, the rhs-carry gemm, and the LU of
+    the updated Schur block; the forward substitution adds one
+    ``(s_i, m, s_{i-1})`` gemm per block.
+    """
+    if num_blocks < 1:
+        raise ConfigurationError("model needs >= 1 block")
+    s = _block_sizes(num_blocks, block_size)
+    m = int(num_rhs)
+    total = lu_factor_bytes(s[-1], is_complex)
+    for i in range(num_blocks - 2, -1, -1):
+        # lu_solve of [lower_i | carry]: factor dim s_{i+1}, s_i + m cols
+        total += lu_solve_bytes(s[i + 1], s[i] + m, is_complex)
+        # Schur update: upper_i (s_i, s_{i+1}) @ xi_up (s_{i+1}, s_i)
+        total += gemm_bytes(s[i], s[i], s[i + 1], is_complex)
+        # rhs carry:    upper_i (s_i, s_{i+1}) @ yi    (s_{i+1}, m)
+        total += gemm_bytes(s[i], m, s[i + 1], is_complex)
+        total += lu_factor_bytes(s[i], is_complex)
+    # forward substitution
+    total += lu_solve_bytes(s[0], m, is_complex)
+    for i in range(1, num_blocks):
+        total += gemm_bytes(s[i], m, s[i - 1], is_complex)
+    return total
+
+
+def rgf_batched_byte_model(num_blocks: int, block_size, rhs_widths,
+                           is_complex: bool = True) -> int:
+    """Bytes of one batched RGF task over an energy batch.
+
+    The stacked kernels record the exact per-slice sum, so the batch
+    bytes are the sum of per-energy :func:`rgf_byte_model` counts over
+    the positive injection widths (zero-width energies are never
+    dispatched), mirroring
+    :func:`~repro.perfmodel.costmodel.rgf_batched_flop_model`.
+    """
+    total = 0
+    for m in rhs_widths:
+        m = int(m)
+        if m <= 0:
+            continue
+        total += rgf_byte_model(num_blocks, block_size, m,
+                                is_complex=is_complex)
+    return total
+
+
+def splitsolve_byte_model(num_blocks: int, block_size: int, num_rhs: int,
+                          num_partitions: int = 1,
+                          is_complex: bool = True) -> int:
+    """Bytes of one SplitSolve solve (preprocess + merges + postprocess).
+
+    Walks the same operation sequence as
+    :func:`~repro.perfmodel.costmodel.splitsolve_flop_model`, pricing
+    each step with the byte count its kernel records (Algorithm 1's
+    block solves run the ``gesv`` kernel, so they carry the matrix
+    operand as well as rhs + solution).  Exact for uniform blocks and a
+    single partition; merged runs add the corner algebra and the fused
+    ``(s, 2s)``-wide spike-update gemms per block row.
+    """
+    if num_blocks < 2:
+        raise ConfigurationError("model needs >= 2 blocks")
+    s = int(block_size)
+    m = int(num_rhs)
+    cf = is_complex
+
+    total = 0
+    # --- preprocessing: per partition, two sweeps of Algorithm 1 ---
+    bounds = np.linspace(0, num_blocks, num_partitions + 1).astype(int)
+    for p in range(num_partitions):
+        nb = int(bounds[p + 1] - bounds[p])
+        schur_gemms = max(nb - 2, 0) + (1 if nb > 1 else 0)
+        q_gemms = nb - 1
+        per_sweep = (schur_gemms * gemm_bytes(s, s, s, cf)
+                     + nb * solve_bytes(s, s, cf)
+                     + q_gemms * gemm_bytes(s, s, s, cf))
+        total += 2 * per_sweep
+
+    # --- SPIKE merges: log2(p) levels ---
+    parts = num_partitions
+    sizes = [int(bounds[i + 1] - bounds[i]) for i in range(num_partitions)]
+    while parts > 1:
+        new_sizes = []
+        for k in range(0, parts, 2):
+            nb_top, nb_bot = sizes[k], sizes[k + 1]
+            # corner algebra of merge_partitions: 10 (s,s,s) gemms + the
+            # two small corner solves
+            total += 10 * gemm_bytes(s, s, s, cf) + 2 * solve_bytes(s, s, cf)
+            # fused spike updates: one (s, 2s, s) gemm per block row
+            total += (nb_top + nb_bot) * gemm_bytes(s, 2 * s, s, cf)
+            new_sizes.append(nb_top + nb_bot)
+        sizes = new_sizes
+        parts //= 2
+
+    # --- postprocessing (steps 2-4) ---
+    total += 2 * gemm_bytes(s, m, 2 * s, cf)          # y_top, y_bot
+    total += 2 * gemm_bytes(s, m, s, cf)              # C y
+    total += 2 * gemm_bytes(s, 2 * s, s, cf)          # C Q
+    total += solve_bytes(2 * s, m, cf)                # R z = C y
+    total += num_blocks * gemm_bytes(s, m, 2 * s, cf)  # x = Q (b' + z)
+    return total
+
+
+def byte_drift(measured_bytes: float, predicted_bytes: float,
+               tolerance: float = 0.05) -> dict:
+    """Measured-vs-model byte comparison for one stage or kernel.
+
+    Returns ``{"measured", "predicted", "ratio", "excess", "drifting"}``
+    where ``ratio`` is measured/predicted and ``drifting`` flags stages
+    moving more (or fewer) bytes than the model allows — the roofline
+    drift check that catches silently-introduced extra copies.  A zero
+    prediction only drifts when bytes were measured anyway.
+    """
+    measured = float(measured_bytes)
+    predicted = float(predicted_bytes)
+    if predicted <= 0.0:
+        return {"measured": measured, "predicted": predicted,
+                "ratio": float("inf") if measured > 0 else 1.0,
+                "excess": measured, "drifting": measured > 0.0}
+    ratio = measured / predicted
+    return {"measured": measured, "predicted": predicted, "ratio": ratio,
+            "excess": measured - predicted,
+            "drifting": abs(ratio - 1.0) > float(tolerance)}

@@ -190,7 +190,8 @@ DISPATCH_FLOPS_PER_CALL = 5e4
 
 def choose_batch_solver(num_blocks: int, block_size: int, rhs_widths,
                         num_partitions: int = 1, hermitian: bool = False,
-                        dispatch_flops: float | None = None) -> str:
+                        dispatch_flops: float | None = None,
+                        machine=None) -> str:
     """SOLVE-stage choice for one (k, E-batch) bucket (``solver="auto"``).
 
     Per-energy SplitSolve runs each energy on the accelerators (flops
@@ -202,19 +203,48 @@ def choose_batch_solver(num_blocks: int, block_size: int, rhs_widths,
 
     ``dispatch_flops`` overrides :data:`DISPATCH_FLOPS_PER_CALL` (useful
     for calibrated values from :func:`measure_dispatch_overhead`).
+
+    ``machine`` (a :class:`~repro.hardware.specs.MachineSpec` or
+    :class:`~repro.hardware.specs.NodeSpec`) switches to the
+    movement-aware comparison: each candidate is priced in *seconds* on
+    its target device as ``max(flops / rate, bytes / bandwidth)`` — the
+    roofline time, so a memory-bound candidate is charged for its
+    traffic, not its arithmetic.  Without ``machine`` the historical
+    flop-only comparison runs unchanged.
     """
     widths = [int(m) for m in rhs_widths if int(m) > 0]
     if not widths or num_blocks < 2:
         return "rgf_batched"
     d = DISPATCH_FLOPS_PER_CALL if dispatch_flops is None \
         else float(dispatch_flops)
-    ratio = _device_rate_ratio()
     ss = sum(splitsolve_flop_model(num_blocks, block_size, m,
                                    num_partitions=num_partitions,
                                    hermitian=hermitian) for m in widths)
-    ss_cost = ss / ratio + len(widths) * d
-    rgf_cost = rgf_batched_flop_model(num_blocks, block_size, widths) + d
-    return "splitsolve" if ss_cost <= rgf_cost else "rgf_batched"
+    rgf = rgf_batched_flop_model(num_blocks, block_size, widths)
+    if machine is None:
+        ratio = _device_rate_ratio()
+        ss_cost = ss / ratio + len(widths) * d
+        rgf_cost = rgf + d
+        return "splitsolve" if ss_cost <= rgf_cost else "rgf_batched"
+
+    from repro.perfmodel.bytemodel import (rgf_batched_byte_model,
+                                           splitsolve_byte_model)
+    node = machine.node if hasattr(machine, "node") else machine
+    gpu_rate = (node.gpu.peak_dp_gflops * 1e9
+                * node.gpu.sustained_fraction)
+    gpu_bw = node.gpu.bandwidth_gb_s * 1e9
+    cpu_rate = (node.cpu.peak_dp_gflops * 1e9
+                * node.cpu.sustained_fraction
+                * node.usable_core_fraction)
+    cpu_bw = node.cpu.bandwidth_gb_s * 1e9
+    ss_bytes = sum(splitsolve_byte_model(num_blocks, block_size, m,
+                                         num_partitions=num_partitions)
+                   for m in widths)
+    rgf_bytes = rgf_batched_byte_model(num_blocks, block_size, widths)
+    disp_s = d / cpu_rate
+    ss_t = max(ss / gpu_rate, ss_bytes / gpu_bw) + len(widths) * disp_s
+    rgf_t = max(rgf / cpu_rate, rgf_bytes / cpu_bw) + disp_s
+    return "splitsolve" if ss_t <= rgf_t else "rgf_batched"
 
 
 def measure_dispatch_overhead(repeats: int = 64) -> float:

@@ -76,9 +76,16 @@ def roofline_from_ledger(ledger, gpu: GpuSpec,
     flops_k = dict(ledger.flops_by_kernel)
     if not flops_k:
         raise ConfigurationError("ledger holds no kernel records")
-    # bytes are tracked per device, not per kernel; apportion by flops.
+    # Exact per-kernel traffic: every instrumented kernel records its own
+    # operand + result bytes, so each roofline point gets *its* bytes —
+    # not a flop-proportional share of the device total (which assigned
+    # every kernel the same arithmetic intensity by construction).
+    bytes_k = dict(getattr(ledger, "bytes_by_kernel", {}) or {})
     total_flops = sum(flops_k.values())
     total_bytes = sum(ledger.bytes_by_device.values())
+    # Legacy snapshots predate per-kernel byte records; only then fall
+    # back to the old flop-proportional apportionment.
+    legacy = not any(bytes_k.values()) and total_bytes > 0
     peak = gpu.peak_dp_gflops * 1e9
     bw = gpu.bandwidth_gb_s * 1e9
 
@@ -92,10 +99,32 @@ def roofline_from_ledger(ledger, gpu: GpuSpec,
         f = sum(flops_k[k] for k in kernels)
         if f == 0:
             continue
-        b = int(total_bytes * f / total_flops) if total_flops else 0
+        if legacy:
+            b = int(total_bytes * f / total_flops) if total_flops else 0
+        else:
+            b = int(sum(bytes_k.get(k, 0) for k in kernels))
         out[name] = RooflinePoint(name=name, flops=f, bytes_moved=b,
                                   device_peak_flops=peak,
                                   device_bandwidth=bw)
+    return out
+
+
+def drift_report(measured: dict, predicted: dict,
+                 tolerance: float = 0.05) -> dict:
+    """Measured-vs-model byte drift for a set of stages or kernels.
+
+    ``measured`` and ``predicted`` map stage (or kernel) name to bytes;
+    every name present in either dict gets a
+    :func:`~repro.perfmodel.bytemodel.byte_drift` verdict.  A stage whose
+    measured traffic exceeds its byte model by more than ``tolerance``
+    is ``drifting`` — the regression signal for silently-introduced
+    extra copies that would erode arithmetic intensity.
+    """
+    from repro.perfmodel.bytemodel import byte_drift
+    out = {}
+    for name in sorted(set(measured) | set(predicted)):
+        out[name] = byte_drift(measured.get(name, 0),
+                               predicted.get(name, 0), tolerance)
     return out
 
 

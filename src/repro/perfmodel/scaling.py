@@ -6,7 +6,6 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hardware.machine import SimulatedMachine
 from repro.hardware.specs import MachineSpec
 from repro.utils.errors import ConfigurationError
 from repro.utils.rng import make_rng
@@ -60,6 +59,7 @@ def weak_scaling_table(spec: MachineSpec, node_counts,
         num_groups = max(n // nodes_per_solver, 1)
         target = int(round(e_per_node_target * num_groups))
         counts = _grid_point_counts(num_k, target, seed=seed + i)
+        from repro.hardware.machine import SimulatedMachine
         machine = SimulatedMachine(spec.subset(n))
         est = machine.run_iteration(counts, gpu_flops_per_point,
                                     cpu_flops_per_point,
@@ -84,6 +84,7 @@ def strong_scaling_table(spec: MachineSpec, node_counts,
     """
     if len(node_counts) == 0:
         raise ConfigurationError("need at least one node count")
+    from repro.hardware.machine import SimulatedMachine
     machine = SimulatedMachine(spec)
     estimates = machine.strong_scaling(node_counts, energies_per_k,
                                        gpu_flops_per_point,

@@ -23,6 +23,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.linalg.arena import (Workspace, arena_scope, scratch,
+                                scratch_release)
 from repro.linalg.batched import bucket_by_width
 from repro.negf.transmission import EnergyPointResult, analyze_solution
 from repro.observability.spans import current_tracer
@@ -45,7 +47,7 @@ class TransportPipeline:
     def __init__(self, obc_method: str = "feast",
                  solver: str = "splitsolve", num_partitions: int = 1,
                  parallel: bool = False, obc_kwargs: dict | None = None,
-                 obc_warm_start: bool = False):
+                 obc_warm_start: bool = False, use_arena: bool = False):
         self.obc_method = obc_method
         self.solver = solver
         self.num_partitions = num_partitions
@@ -55,6 +57,19 @@ class TransportPipeline:
         #: fewer refinement iterations, round-off-level deviations from the
         #: default lock-step mode, which is bitwise == per-energy)
         self.obc_warm_start = bool(obc_warm_start)
+        #: route batch-local scratch (Schur stacks, rhs carries, sigma
+        #: stacks, staging blocks) through a persistent
+        #: :class:`~repro.linalg.arena.Workspace` so steady-state energy
+        #: batches reuse buffers instead of reallocating — spectra stay
+        #: bitwise identical to the fresh-allocation path
+        self.use_arena = bool(use_arena)
+        self._workspace = Workspace(name="pipeline") if self.use_arena \
+            else None
+
+    @property
+    def workspace(self) -> Workspace | None:
+        """The pipeline's buffer arena (``None`` unless ``use_arena``)."""
+        return self._workspace
 
     def cache(self, device) -> DeviceCache:
         """A per-k cache for ``device`` (reuse it across energies)."""
@@ -174,7 +189,18 @@ class TransportPipeline:
             return [self.solve_point(cache, energies[0],
                                      kpoint_index=kpoint_index,
                                      energy_index=int(energy_indices[0]))]
+        if self._workspace is None:
+            return self._solve_batch_impl(cache, energies, kpoint_index,
+                                          energy_indices)
+        with arena_scope(self._workspace):
+            try:
+                return self._solve_batch_impl(cache, energies,
+                                              kpoint_index, energy_indices)
+            finally:
+                self._emit_arena_stats()
 
+    def _solve_batch_impl(self, cache, energies, kpoint_index,
+                          energy_indices) -> list:
         ne = len(energies)
         traces = [TaskTrace(kpoint_index=kpoint_index,
                             energy_index=int(ie), energy=e)
@@ -248,11 +274,30 @@ class TransportPipeline:
                     from repro.solvers import (assemble_t_batched,
                                                solve_rgf_batched)
                     sub = a_batch.take(pos)
-                    sigma_l = np.stack([obs[j].sigma_l for j in pos])
-                    sigma_r = np.stack([obs[j].sigma_r for j in pos])
+                    # Sigma and rhs stacks are workspace scratch:
+                    # np.stack(out=) fills the reused buffers with the
+                    # identical bits a fresh np.stack would produce.
+                    nsub = len(pos)
+                    s1 = cache.block_sizes[0]
+                    s2 = cache.block_sizes[-1]
+                    sigma_l = scratch((nsub, s1, s1), complex,
+                                      tag="pipeline.sigma")
+                    np.stack([obs[j].sigma_l for j in pos], out=sigma_l)
+                    sigma_r = scratch((nsub, s2, s2), complex,
+                                      tag="pipeline.sigma")
+                    np.stack([obs[j].sigma_r for j in pos], out=sigma_r)
                     t_batch = assemble_t_batched(sub, sigma_l, sigma_r)
-                    rhs = np.stack([injs[j] for j in pos])
+                    scratch_release(sigma_l, sigma_r)
+                    rhs = scratch((nsub, cache.num_orbitals, width),
+                                  complex, tag="pipeline.rhs")
+                    np.stack([injs[j] for j in pos], out=rhs)
                     x = solve_rgf_batched(t_batch, rhs)
+                    scratch_release(rhs)
+                    # the assembled corner stacks were checked out by
+                    # assemble_t_batched; the solve consumed them
+                    scratch_release(t_batch.diag[0])
+                    if len(t_batch.diag) > 1:
+                        scratch_release(t_batch.diag[-1])
                 else:
                     solver_fn = SOLVERS.get(name)
                     x = []
@@ -262,9 +307,13 @@ class TransportPipeline:
                             a_batch.point(j), obs[j], injs[j],
                             num_partitions=self.num_partitions,
                             parallel=self.parallel, info=info))
+                predicted = self._predicted_solve_bytes(cache, name,
+                                                        width)
                 for st in sts:
                     st.meta.update(solver=name,
                                    bucket_size=len(pos), num_rhs=width)
+                    if predicted is not None:
+                        st.meta["predicted_bytes"] = int(predicted)
             for slot, j in enumerate(pos):
                 psis[j] = x[slot]
 
@@ -286,3 +335,41 @@ class TransportPipeline:
             result.trace = tr
             results.append(result)
         return results
+
+    @staticmethod
+    def _predicted_solve_bytes(cache, solver_name: str, width: int):
+        """Model-predicted kernel bytes of one energy's SOLVE stage.
+
+        Exact for the batched RGF path (the byte model transcribes the
+        kernel sequence, per-block sizes included); the SplitSolve model
+        prices uniform blocks, so non-uniform devices carry a documented
+        tolerance.  Returns ``None`` for solvers without a byte model.
+        """
+        try:
+            from repro.perfmodel.bytemodel import (rgf_byte_model,
+                                                   splitsolve_byte_model)
+            if solver_name == "rgf_batched" or solver_name == "rgf":
+                return rgf_byte_model(cache.num_blocks,
+                                      cache.block_sizes, int(width))
+            if solver_name == "splitsolve":
+                return splitsolve_byte_model(
+                    cache.num_blocks, int(max(cache.block_sizes)),
+                    int(width))
+        except Exception:
+            return None
+        return None
+
+    def _emit_arena_stats(self) -> None:
+        """Publish the workspace allocation counters after one batch."""
+        tracer = current_tracer()
+        ws = self._workspace
+        if ws is None or tracer is None:
+            return
+        s = ws.stats()
+        tracer.instant("arena", category="memory", attrs=s)
+        m = tracer.metrics
+        m.gauge("arena_fresh").set(s["fresh"])
+        m.gauge("arena_reuses").set(s["reuses"])
+        m.gauge("arena_reuse_rate").set(s["reuse_rate"])
+        m.gauge("arena_bytes_pooled").set(s["bytes_pooled"])
+        m.gauge("arena_outstanding").set(s["outstanding"])

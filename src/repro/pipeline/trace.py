@@ -203,10 +203,18 @@ def batch_stage_scope(traces, name: str, weights=None):
             st.meta.setdefault("bytes", int(b))
         tracer = current_tracer()
         if tracer is not None and traces:
+            attrs = {"kpoint": traces[0].kpoint_index,
+                     "batch_size": len(sts),
+                     "energy_indices": [tr.energy_index
+                                        for tr in traces]}
+            # model-predicted traffic, when the stage body priced it
+            # (SOLVE attaches per-task byte-model counts) — the span then
+            # carries measured and predicted bytes side by side for the
+            # drift check.
+            predicted = sum(int(st.meta.get("predicted_bytes", 0))
+                            for st in sts)
+            if predicted > 0:
+                attrs["predicted_bytes"] = predicted
             tracer.emit(name, category="stage", t_start=t0,
                         seconds=elapsed, flops=int(probe.total_flops),
-                        bytes_moved=total_bytes,
-                        attrs={"kpoint": traces[0].kpoint_index,
-                               "batch_size": len(sts),
-                               "energy_indices": [tr.energy_index
-                                                  for tr in traces]})
+                        bytes_moved=total_bytes, attrs=attrs)

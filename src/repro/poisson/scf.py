@@ -54,6 +54,7 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                          raise_on_divergence: bool = False,
                          task_runner=None,
                          energy_batch_size: int = 1,
+                         use_arena: bool = False,
                          checkpoint=None) -> SCFResult:
     """Run the self-consistent Schroedinger-Poisson loop.
 
@@ -74,6 +75,9 @@ def schroedinger_poisson(structure, basis, num_cells: int,
     energy_batch_size : forwarded to
         :func:`repro.core.runner.compute_spectrum`; values > 1 run the
         inner transport solves through the batched (k, E-batch) path.
+    use_arena : forwarded to :func:`repro.core.runner.compute_spectrum`;
+        the inner transport solves reuse workspace-arena scratch buffers
+        (bitwise-identical spectra).
     checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
         Persist the loop state after every completed iteration — one
         (k, E) batch — and resume from it when the file already exists.
@@ -141,7 +145,8 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                 num_k=num_k, obc_method=obc_method,
                 solver=solver, potential=pot,
                 task_runner=task_runner,
-                energy_batch_size=energy_batch_size)
+                energy_batch_size=energy_batch_size,
+                use_arena=use_arena)
             # (ii) accumulate density (trapezoid over the energy grid)
             dev = None
             dens_orb = None

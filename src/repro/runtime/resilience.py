@@ -106,6 +106,11 @@ class RunTelemetry:
     def stage_flops(self) -> dict:
         return self.metrics.labeled("stage_flops").as_dict()
 
+    @property
+    def stage_bytes(self) -> dict:
+        """Aggregated per-stage kernel traffic (ledger bytes)."""
+        return self.metrics.labeled("stage_bytes").as_dict()
+
     # -- recording ----------------------------------------------------------
 
     def record_submitted(self, num_tasks: int) -> None:
@@ -142,9 +147,11 @@ class RunTelemetry:
         self.metrics.counter("tasks_traced").inc()
         times = self.metrics.labeled("stage_time_s")
         flops = self.metrics.labeled("stage_flops")
+        nbytes = self.metrics.labeled("stage_bytes")
         for st in trace.stages:
             times.inc(st.name, float(st.seconds))
             flops.inc(st.name, int(st.flops))
+            nbytes.inc(st.name, int(st.meta.get("bytes", 0)))
 
     # -- aggregation / persistence ------------------------------------------
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import BlockTridiagonalMatrix
+from repro.linalg.arena import scratch
 from repro.linalg.batched import BatchedBlockTridiag
 from repro.utils.errors import ShapeError
 
@@ -50,7 +51,10 @@ def assemble_t_batched(a: BatchedBlockTridiag, sigma_l: np.ndarray,
     ``sigma_l`` is ``(nE, s1, s1)`` and ``sigma_r`` is ``(nE, s2, s2)``
     — one boundary pair per energy of the batch.  Only the two corner
     diagonal stacks are copied; every interior stack is shared with
-    ``a`` (same contract as the per-point assembly).
+    ``a`` (same contract as the per-point assembly).  The corner copies
+    are workspace scratch when an arena is active — the caller releases
+    them after the solve consumes the assembled matrix (the pipeline
+    does this at the end of its SOLVE stage).
     """
     s1 = a.block_sizes[0]
     s2 = a.block_sizes[-1]
@@ -62,9 +66,12 @@ def assemble_t_batched(a: BatchedBlockTridiag, sigma_l: np.ndarray,
         raise ShapeError(
             f"sigma_r stack is {sigma_r.shape}, expected {(ne, s2, s2)}")
     diag = [_as_complex(b) for b in a.diag]
-    diag[0] = a.diag[0].astype(complex)
+    diag[0] = scratch(a.diag[0].shape, complex, tag="assemble.corner")
+    np.copyto(diag[0], a.diag[0])
     if len(diag) > 1:
-        diag[-1] = a.diag[-1].astype(complex)
+        diag[-1] = scratch(a.diag[-1].shape, complex,
+                           tag="assemble.corner")
+        np.copyto(diag[-1], a.diag[-1])
     t = BatchedBlockTridiag(
         diag,
         [_as_complex(b) for b in a.upper],
@@ -95,7 +102,10 @@ def boundary_rhs(block_sizes, b_top: np.ndarray,
         raise ShapeError(
             f"b_bottom has {b_bottom.shape[0]} rows, expected {s2}")
     m = b_top.shape[1] + b_bottom.shape[1]
-    rhs = np.zeros((n, m), dtype=complex)
+    # The rhs escapes into cached boundaries and solver results, so it
+    # is an escape checkout: counted by the workspace, never pooled.
+    rhs = scratch((n, m), complex, zero=True, escape=True,
+                  tag="assemble.rhs")
     rhs[:s1, :b_top.shape[1]] = b_top
     rhs[n - s2:, b_top.shape[1]:] = b_bottom
     return rhs

@@ -13,6 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import BlockTridiagonalMatrix, gemm, lu_factor, lu_solve
+from repro.linalg.arena import scratch, scratch_release
 from repro.linalg.batched import (BatchedBlockTridiag, gemm_batched,
                                   lu_factor_batched, lu_solve_batched)
 from repro.utils.errors import ShapeError
@@ -38,7 +39,9 @@ def solve_rgf(t: BlockTridiagonalMatrix, b: np.ndarray,
     squeeze = b.ndim == 1
     if squeeze:
         b = b[:, None]
-    b = b.astype(complex)
+    # b is only ever read below (the sweeps subtract *from* its slices
+    # into fresh arrays), so a complex input needs no defensive copy.
+    b = _as_complex(b)
     # One up-front conversion per coupling block; the sweeps below used
     # to re-convert t.lower[i]/t.upper[i] on every use (up to three times
     # per block per call).
@@ -62,8 +65,10 @@ def solve_rgf(t: BlockTridiagonalMatrix, b: np.ndarray,
         carry = b[offs[i]:offs[i + 1]] - gemm(upper[i], yi[i + 1], tag=tag)
         facs[i] = lu_factor(schur, tag=tag)
 
-    # Forward substitution.
-    x = np.empty_like(b)
+    # Forward substitution.  The result outlives the call (it becomes
+    # psi), so it is an *escape* checkout: accounted in the workspace
+    # telemetry, never pooled for reuse.
+    x = scratch(b.shape, complex, escape=True, tag="rgf.x")
     x[offs[0]:offs[1]] = lu_solve(facs[0], carry, tag=tag)
     for i in range(1, nb):
         # The Schur elimination already folded the rhs into yi/xi_up:
@@ -98,35 +103,75 @@ def solve_rgf_batched(t: BatchedBlockTridiag, b: np.ndarray,
                          f"{t.batch_size}")
     if b.shape[1] != offs[-1]:
         raise ShapeError(f"rhs has {b.shape[1]} rows, matrix {offs[-1]}")
-    b = b.astype(complex)
+    # b is read-only below; complex inputs (the pipeline's stacked
+    # injection rhs) are used in place instead of defensively copied.
+    b = _as_complex(b)
     upper = [_as_complex(u) for u in t.upper]
     lower = [_as_complex(l) for l in t.lower]
+    ne, m = b.shape[0], b.shape[2]
 
-    # Backward sweep over stacked Schur complements.
-    facs = [None] * nb
-    xi_up = [None] * nb
-    yi = [None] * nb
-    schur = t.diag[nb - 1].astype(complex)
-    carry = b[:, offs[nb - 1]:offs[nb]].copy()
-    facs[nb - 1] = lu_factor_batched(schur, tag=tag)
-    for i in range(nb - 2, -1, -1):
-        sol = lu_solve_batched(facs[i + 1],
-                               np.concatenate([lower[i], carry], axis=2),
-                               tag=tag)
-        ncol = lower[i].shape[2]
-        xi_up[i + 1] = sol[:, :, :ncol]
-        yi[i + 1] = sol[:, :, ncol:]
-        schur = t.diag[i] - gemm_batched(upper[i], xi_up[i + 1], tag=tag)
-        carry = b[:, offs[i]:offs[i + 1]] - gemm_batched(upper[i], yi[i + 1],
-                                                         tag=tag)
-        facs[i] = lu_factor_batched(schur, tag=tag)
+    # All large per-sweep temporaries — Schur stacks, rhs carries, the
+    # [lower | carry] staging block — are workspace scratch
+    # (:mod:`repro.linalg.arena`): checked out per block, released as
+    # soon as consumed, reused across blocks and across successive
+    # energy batches.  Without an active arena, `scratch` degrades to
+    # the plain allocations this function always performed.  The in-
+    # place forms (`np.matmul(..., out=)`, `np.subtract(..., out=)`,
+    # `np.concatenate(..., out=)`) run the identical kernels into the
+    # reused buffers, so every slice stays bitwise identical to the
+    # fresh-allocation path.
+    held: dict = {}
 
-    # Forward substitution, stacked.
-    x = np.empty_like(b)
-    x[:, offs[0]:offs[1]] = lu_solve_batched(facs[0], carry, tag=tag)
-    for i in range(1, nb):
-        x[:, offs[i]:offs[i + 1]] = yi[i] - gemm_batched(
-            xi_up[i], x[:, offs[i - 1]:offs[i]], tag=tag)
+    def _scr(shape, tag_):
+        buf = scratch(shape, complex, tag=tag_)
+        held[id(buf)] = buf
+        return buf
+
+    def _rel(*bufs):
+        for buf in bufs:
+            held.pop(id(buf), None)
+        scratch_release(*bufs)
+
+    try:
+        facs = [None] * nb
+        xi_up = [None] * nb
+        yi = [None] * nb
+        schur = _as_complex(t.diag[nb - 1])
+        carry = _scr((ne, offs[nb] - offs[nb - 1], m), "rgf.carry")
+        np.copyto(carry, b[:, offs[nb - 1]:offs[nb]])
+        facs[nb - 1] = lu_factor_batched(schur, tag=tag)
+        for i in range(nb - 2, -1, -1):
+            s_next, s_i = lower[i].shape[1], lower[i].shape[2]
+            stage = _scr((ne, s_next, s_i + m), "rgf.stage")
+            np.concatenate([lower[i], carry], axis=2, out=stage)
+            sol = lu_solve_batched(facs[i + 1], stage, tag=tag)
+            _rel(stage, carry)
+            xi_up[i + 1] = sol[:, :, :s_i]
+            yi[i + 1] = sol[:, :, s_i:]
+            schur = _scr((ne, s_i, s_i), "rgf.schur")
+            gemm_batched(upper[i], xi_up[i + 1], tag=tag, out=schur)
+            np.subtract(t.diag[i], schur, out=schur)
+            carry = _scr((ne, s_i, m), "rgf.carry")
+            gemm_batched(upper[i], yi[i + 1], tag=tag, out=carry)
+            np.subtract(b[:, offs[i]:offs[i + 1]], carry, out=carry)
+            facs[i] = lu_factor_batched(schur, tag=tag)
+            _rel(schur)
+
+        # Forward substitution, stacked.  x escapes into the per-energy
+        # psi results, so it is an escape checkout (never pooled).
+        x = scratch(b.shape, complex, escape=True, tag="rgf.x")
+        x[:, offs[0]:offs[1]] = lu_solve_batched(facs[0], carry, tag=tag)
+        _rel(carry)
+        for i in range(1, nb):
+            s_i = offs[i + 1] - offs[i]
+            g = _scr((ne, s_i, m), "rgf.fwd")
+            gemm_batched(xi_up[i], x[:, offs[i - 1]:offs[i]], tag=tag,
+                         out=g)
+            np.subtract(yi[i], g, out=x[:, offs[i]:offs[i + 1]])
+            _rel(g)
+    except BaseException:
+        scratch_release(*held.values())
+        raise
     return x
 
 

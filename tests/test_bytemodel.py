@@ -1,0 +1,276 @@
+"""Tests for the exact per-kernel byte cost models.
+
+The byte models must reproduce the instrumented kernels' own ledger
+records exactly (uniform and ragged blocks, batched and per-point), the
+roofline must consume exact per-kernel traffic (falling back to the old
+flop-proportional apportionment only for legacy snapshots), the drift
+check must flag injected extra traffic, and the movement-aware
+schedulers (balancer shares, SOLVE-stage auto choice) must react to
+arithmetic intensity.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TITAN
+from repro.hardware.specs import CpuSpec, GpuSpec, NodeSpec
+from repro.linalg import BatchedBlockTridiag, ledger_scope
+from repro.linalg.flops import FlopLedger
+from repro.linalg.kernels import gemm, lu_factor, lu_solve, solve
+from repro.parallel import DynamicLoadBalancer
+from repro.perfmodel import (
+    byte_drift,
+    gemm_bytes,
+    lu_factor_bytes,
+    lu_solve_bytes,
+    rgf_batched_byte_model,
+    rgf_byte_model,
+    solve_bytes,
+    splitsolve_byte_model,
+)
+from repro.perfmodel.costmodel import choose_batch_solver
+from repro.perfmodel.roofline import drift_report, roofline_from_ledger
+from repro.pipeline import StageTrace, TaskTrace
+from repro.solvers import (SplitSolve, assemble_t, boundary_rhs, solve_rgf,
+                           solve_rgf_batched)
+from repro.utils.errors import ConfigurationError
+from tests.test_blocktridiag import make_btd
+from tests.test_solvers import make_system
+
+
+def _cplx(rng, *shape):
+    return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(11)
+
+
+class TestKernelByteFormulas:
+    """Each formula must equal the kernel's own ledger byte record."""
+
+    def test_gemm(self, rng):
+        a, b = _cplx(rng, 4, 6), _cplx(rng, 6, 3)
+        with ledger_scope() as led:
+            gemm(a, b)
+        assert led.total_bytes == gemm_bytes(4, 3, 6)
+
+    def test_lu_factor(self, rng):
+        a = _cplx(rng, 5, 5) + 5 * np.eye(5)
+        with ledger_scope() as led:
+            lu_factor(a)
+        assert led.total_bytes == lu_factor_bytes(5)
+
+    def test_lu_solve(self, rng):
+        a = _cplx(rng, 5, 5) + 5 * np.eye(5)
+        lu = lu_factor(a)
+        with ledger_scope() as led:
+            lu_solve(lu, _cplx(rng, 5, 3))
+        assert led.total_bytes == lu_solve_bytes(5, 3)
+
+    def test_solve(self, rng):
+        a = _cplx(rng, 6, 6) + 6 * np.eye(6)
+        with ledger_scope() as led:
+            solve(a, _cplx(rng, 6, 2))
+        assert led.total_bytes == solve_bytes(6, 2)
+
+
+class TestRgfByteModel:
+    def test_exact_uniform_blocks(self):
+        a, sl, sr, bt, bb = make_system(nb=6, bs=3, seed=3)
+        t = assemble_t(a, sl, sr)
+        rhs = boundary_rhs(a.block_sizes, bt, bb)
+        with ledger_scope() as led:
+            solve_rgf(t, rhs)
+        assert led.total_bytes == rgf_byte_model(6, 3, rhs.shape[1])
+
+    def test_exact_ragged_blocks(self, rng):
+        sizes = [3, 4, 5, 3, 4]
+        a = make_btd(sizes, seed=9, cplx=True)
+        for d in a.diag:
+            d += 4 * max(sizes) * np.eye(d.shape[0])
+        sl = 0.3 * _cplx(rng, sizes[0], sizes[0])
+        sr = 0.3 * _cplx(rng, sizes[-1], sizes[-1])
+        bt = _cplx(rng, sizes[0], 2)
+        bb = _cplx(rng, sizes[-1], 1)
+        t = assemble_t(a, sl, sr)
+        rhs = boundary_rhs(a.block_sizes, bt, bb)
+        with ledger_scope() as led:
+            solve_rgf(t, rhs)
+        assert led.total_bytes == rgf_byte_model(len(sizes), sizes,
+                                                 rhs.shape[1])
+
+    def test_exact_batched(self, rng):
+        ne, nb, s, m = 3, 5, 3, 2
+        diag = _cplx(rng, ne, s, s) + 8 * np.eye(s)
+        t = BatchedBlockTridiag(
+            [diag + j * np.eye(s) for j in range(nb)],
+            [_cplx(rng, ne, s, s) for _ in range(nb - 1)],
+            [_cplx(rng, ne, s, s) for _ in range(nb - 1)])
+        b = _cplx(rng, ne, nb * s, m)
+        with ledger_scope() as led:
+            solve_rgf_batched(t, b)
+        assert led.total_bytes == rgf_batched_byte_model(nb, s, [m] * ne)
+
+    def test_batched_model_sums_positive_widths(self):
+        widths = [3, 0, 5, 2]
+        want = sum(rgf_byte_model(7, 4, m) for m in widths if m > 0)
+        assert rgf_batched_byte_model(7, 4, widths) == want
+        assert rgf_batched_byte_model(7, 4, [0, 0]) == 0
+
+    def test_ragged_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            rgf_byte_model(4, [3, 3], 2)
+
+
+class TestSplitSolveByteModel:
+    def test_exact_single_partition(self):
+        a, sl, sr, bt, bb = make_system(nb=8, bs=3, seed=50)
+        ss = SplitSolve(a, num_partitions=1, parallel=False,
+                        hermitian=False)
+        with ledger_scope() as led:
+            ss.solve(sl, sr, bt, bb)
+        assert led.total_bytes == splitsolve_byte_model(8, 3, num_rhs=3,
+                                                        num_partitions=1)
+
+    @pytest.mark.parametrize("parts", [2, 4])
+    def test_close_match_multi_partition(self, parts):
+        a, sl, sr, bt, bb = make_system(nb=8, bs=3, seed=51)
+        ss = SplitSolve(a, num_partitions=parts, parallel=False,
+                        hermitian=False)
+        with ledger_scope() as led:
+            ss.solve(sl, sr, bt, bb)
+        model = splitsolve_byte_model(8, 3, num_rhs=3,
+                                      num_partitions=parts)
+        assert abs(led.total_bytes - model) / model < 0.15
+
+
+class TestByteDrift:
+    def test_exact_match_is_not_drifting(self):
+        v = byte_drift(1000, 1000)
+        assert not v["drifting"] and v["ratio"] == 1.0
+
+    def test_excess_traffic_flags(self):
+        assert byte_drift(1100, 1000, tolerance=0.05)["drifting"]
+        assert not byte_drift(1040, 1000, tolerance=0.05)["drifting"]
+
+    def test_unpredicted_traffic_flags(self):
+        assert byte_drift(10, 0)["drifting"]
+        assert not byte_drift(0, 0)["drifting"]
+
+    def test_drift_report_names_union(self):
+        rep = drift_report({"SOLVE": 120, "OBC": 50},
+                           {"SOLVE": 100}, tolerance=0.05)
+        assert rep["SOLVE"]["drifting"] and rep["OBC"]["drifting"]
+        clean = drift_report({"SOLVE": 100}, {"SOLVE": 100})
+        assert not clean["SOLVE"]["drifting"]
+
+
+class TestRooflineBytes:
+    def test_exact_per_kernel_intensity(self):
+        led = FlopLedger()
+        led.record("zgemm", flops=8000, bytes_moved=100, device="gpu0")
+        led.record("zgetrf", flops=1000, bytes_moved=1000, device="gpu0")
+        pts = roofline_from_ledger(led, TITAN.node.gpu)
+        assert pts["zgemm"].arithmetic_intensity == 80.0
+        assert pts["zgetrf"].arithmetic_intensity == 1.0
+        assert pts["zgemm"].bytes_moved == 100
+
+    def test_legacy_snapshot_falls_back_to_proportional(self):
+        led = FlopLedger()
+        led.record("zgemm", flops=3000, device="gpu0")
+        led.record("zgetrf", flops=1000, device="gpu0")
+        led.bytes_by_device["gpu0"] += 400    # legacy: device total only
+        pts = roofline_from_ledger(led, TITAN.node.gpu)
+        assert pts["zgemm"].bytes_moved == 300
+        assert pts["zgetrf"].bytes_moved == 100
+
+
+class TestBalancerMovementAware:
+    def _balancer(self):
+        return DynamicLoadBalancer(4, [4, 4], smoothing=0.5)
+
+    def test_profile_validation(self):
+        bal = self._balancer()
+        with pytest.raises(ConfigurationError):
+            bal.set_node_profile("node0", 0.0, 1e9)
+        with pytest.raises(ConfigurationError):
+            bal.set_node_profile("node0", 1e12, -1.0)
+
+    def test_capability_needs_profile_and_intensity(self):
+        bal = self._balancer()
+        assert bal.node_capability("node0", 10.0) is None
+        bal.set_node_profile("node0", 1e12, 1e11)
+        assert bal.node_capability("node0", None) is None
+        assert bal.node_capability("node0", 1.0) == 1e11
+        assert bal.node_capability("node0", 100.0) == 1e12
+
+    def test_memory_bound_work_shifts_to_bandwidth(self):
+        bal = self._balancer()
+        bal.set_node_profile("fast-mem", 1e12, 2e11)
+        bal.set_node_profile("slow-mem", 1e12, 5e10)
+        shares = bal.worker_shares(100, ["fast-mem", "slow-mem"],
+                                   flops=1e9, bytes_moved=1e9)
+        assert sum(shares.values()) == 100
+        assert shares["fast-mem"] == 80 and shares["slow-mem"] == 20
+        # compute-bound work: both hit the flop peak, shares even out
+        even = bal.worker_shares(100, ["fast-mem", "slow-mem"],
+                                 flops=1e12, bytes_moved=1.0)
+        assert even["fast-mem"] == even["slow-mem"] == 50
+
+    def test_unprofiled_nodes_priced_at_mean_capability(self):
+        bal = self._balancer()
+        bal.set_node_profile("a", 1e12, 1e11)
+        shares = bal.worker_shares(90, ["a", "b", "c"],
+                                   flops=1e9, bytes_moved=1e9)
+        assert sum(shares.values()) == 90
+        assert shares["a"] == shares["b"] == shares["c"] == 30
+
+    def test_measured_intensity_from_traces(self):
+        bal = self._balancer()
+        assert bal.measured_intensity() is None
+        tr = TaskTrace(kpoint_index=0, stages=[
+            StageTrace(name="SOLVE", seconds=1.0, flops=4000,
+                       meta={"bytes": 1000})])
+        bal.record_task_traces([tr, None])
+        assert bal.measured_intensity() == 4.0
+
+    def test_shares_without_any_profile_fall_back_to_speed(self):
+        bal = self._balancer()
+        bal.record_worker_times({"a": 0.5, "b": 1.0})
+        shares = bal.worker_shares(30, ["a", "b"])
+        assert sum(shares.values()) == 30
+        assert shares["a"] > shares["b"]
+
+
+class TestMovementAwareSolverChoice:
+    def test_default_path_is_flop_only_and_unchanged(self):
+        # small bucket of wide-rhs energies: per-energy dispatch overhead
+        # dominates and the batched host sweep wins (historical behavior)
+        assert choose_batch_solver(8, 4, [2] * 4) == \
+            choose_batch_solver(8, 4, [2] * 4, machine=None)
+
+    def test_machine_accepts_machine_or_node_spec(self):
+        widths = [64] * 8
+        a = choose_batch_solver(24, 96, widths, machine=TITAN)
+        b = choose_batch_solver(24, 96, widths, machine=TITAN.node)
+        assert a == b and a in ("splitsolve", "rgf_batched")
+
+    def test_bandwidth_starved_gpu_tilts_to_host(self):
+        widths = [32] * 16
+        fat_gpu = NodeSpec(
+            cpu=CpuSpec(model="host", cores=16, peak_dp_gflops=130.0,
+                        bandwidth_gb_s=40.0),
+            gpu=GpuSpec(model="fast", peak_dp_gflops=1311.0,
+                        memory_gb=6.0, bandwidth_gb_s=250.0,
+                        pcie_gb_s=6.0, tdp_w=235.0, idle_w=20.0))
+        starved = NodeSpec(
+            cpu=fat_gpu.cpu,
+            gpu=GpuSpec(model="starved", peak_dp_gflops=1311.0,
+                        memory_gb=6.0, bandwidth_gb_s=0.001,
+                        pcie_gb_s=6.0, tdp_w=235.0, idle_w=20.0))
+        assert choose_batch_solver(24, 64, widths,
+                                   machine=fat_gpu) == "splitsolve"
+        assert choose_batch_solver(24, 64, widths,
+                                   machine=starved) == "rgf_batched"
