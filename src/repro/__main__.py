@@ -48,6 +48,13 @@ def main(argv=None) -> int:
     tracep.add_argument("--telemetry-out", default=None,
                         help="write the merged RunTelemetry snapshot as "
                              "JSON (machine-readable CI artifact)")
+    tracep.add_argument("--kernel-backend", default=None,
+                        help="kernel backend for the batched linear "
+                             "algebra: numpy (bitwise reference), mixed "
+                             "(complex64 LU + iterative refinement), "
+                             "simulated-gpu, numba, or auto (per-node "
+                             "resolution); default: REPRO_KERNEL_BACKEND "
+                             "env var, else numpy")
 
     reportp = sub.add_parser(
         "report", help="re-derive the phase/activity reports from a span "
@@ -101,10 +108,13 @@ def _cmd_trace(args) -> int:
     demo = traced_production_demo(num_nodes=args.nodes, smoke=args.smoke,
                                   trace_path=args.out,
                                   jsonl_path=args.jsonl,
-                                  backend=args.backend)
+                                  backend=args.backend,
+                                  kernel_backend=args.kernel_backend)
     elapsed = time.perf_counter() - t0
 
     print(f"backend: {args.backend} ({args.nodes} workers)")
+    if args.kernel_backend:
+        print(f"kernel backend: {args.kernel_backend}")
     print(demo["result"].iv_table())
     print()
     print(phase_report(demo["totals"]))

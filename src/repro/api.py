@@ -46,13 +46,19 @@ def silicon_utb_device(tbody_nm: float = 0.8, length_cells: int = 4,
 
 def transmission(device, energies, obc_method: str = "feast",
                  solver: str = "splitsolve", num_partitions: int = 1,
-                 energy_batch_size: int = 1, **kwargs) -> np.ndarray:
+                 energy_batch_size: int = 1, kernel_backend=None,
+                 **kwargs) -> np.ndarray:
     """T(E) of a prepared device; one row per energy: (E, modes, T).
 
     ``energy_batch_size > 1`` solves the grid in (E-batch) chunks
     through :meth:`repro.pipeline.TransportPipeline.solve_batch` —
     stacked assembly and batched RGF kernels — instead of one call per
     point; the returned rows are numerically equivalent.
+
+    ``kernel_backend`` selects the kernel backend for the solves (a
+    registered :mod:`repro.linalg.backend` name like ``"numpy"`` or
+    ``"mixed"``, an instance, or ``"auto"``); the default defers to the
+    ambient backend (environment variable, else the bitwise reference).
     """
     energies = [float(e) for e in energies]
     obc_kwargs = kwargs.pop("obc_kwargs", None)
@@ -63,7 +69,8 @@ def transmission(device, energies, obc_method: str = "feast",
         from repro.pipeline import TransportPipeline
         pipe = TransportPipeline(obc_method=obc_method, solver=solver,
                                  num_partitions=num_partitions,
-                                 obc_kwargs=obc_kwargs, **kwargs)
+                                 obc_kwargs=obc_kwargs,
+                                 backend=kernel_backend, **kwargs)
         cache = pipe.cache(device)
         b = int(energy_batch_size)
         for lo in range(0, len(energies), b):
@@ -77,7 +84,8 @@ def transmission(device, energies, obc_method: str = "feast",
         res = qtbm_energy_point(device, e, obc_method=obc_method,
                                 solver=solver,
                                 num_partitions=num_partitions,
-                                obc_kwargs=obc_kwargs, **kwargs)
+                                obc_kwargs=obc_kwargs,
+                                kernel_backend=kernel_backend, **kwargs)
         rows.append((e, res.num_prop_left, res.transmission_lr))
     return np.asarray(rows)
 

@@ -65,7 +65,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                    energy_batch_size: int = 1,
                    checkpoint=None, backend: str | None = None,
                    num_workers: int | None = None,
-                   use_arena: bool = False) -> ProductionResult:
+                   use_arena: bool = False,
+                   kernel_backend: str | None = None) -> ProductionResult:
     """Run the full multi-bias production simulation.
 
     Parameters
@@ -102,6 +103,12 @@ def run_production(structure, basis, num_cells: int, bias_points,
         energy batches reuse scratch buffers instead of allocating
         fresh ones.  Bitwise-identical results; arena reuse statistics
         appear as ``memory``-category span instants.
+    kernel_backend : str, optional
+        Kernel-backend selector for every transport solve of the sweep
+        (see :func:`repro.core.runner.compute_spectrum`): ``"numpy"``
+        (bitwise reference, default), ``"mixed"``, ``"simulated-gpu"``,
+        ``"numba"``, or ``"auto"`` for per-worker resolution against
+        the registered node specs.
 
     Notes
     -----
@@ -150,7 +157,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                     e_window=e_window, num_k=num_k,
                     task_runner=task_runner,
                     energy_batch_size=energy_batch_size,
-                    use_arena=use_arena, **kwargs)
+                    use_arena=use_arena,
+                    kernel_backend=kernel_backend, **kwargs)
                 spec = compute_spectrum(structure, basis, num_cells,
                                         energies,
                                         num_k=num_k, obc_method="dense",
@@ -158,7 +166,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                                         potential=scf.potential_atom,
                                         task_runner=task_runner,
                                         energy_batch_size=energy_batch_size,
-                                        use_arena=use_arena)
+                                        use_arena=use_arena,
+                                        kernel_backend=kernel_backend)
                 current = spec.current(mu_source, mu_source - vds,
                                        temperature_k)
             points.append(BiasPoint(vds=vds, current=current,

@@ -85,6 +85,11 @@ class SpectrumUnitSpec:
     energy_indices: tuple
     run_token: str             # worker-side cache key, unique per run
     use_arena: bool = False    # workspace-arena buffer reuse in SOLVE
+    #: kernel-backend selector (name or "auto"); resolved *in the
+    #: worker*, so "auto" consults the worker's own device scope against
+    #: the :mod:`repro.hardware` node-spec registry — heterogeneous
+    #: machines pick per-node backends
+    kernel_backend: str | None = None
 
 
 #: per-process device/pipeline cache of :func:`_solve_unit`, keyed
@@ -104,14 +109,16 @@ def _solve_unit(spec: SpectrumUnitSpec):
     in :data:`_WORKER_CACHE` (bounded FIFO — workers of a long energy
     sweep hold a handful of k-point devices, not all of them).
     """
-    key = (spec.run_token, spec.kpoint_index)
+    kernel_backend = getattr(spec, "kernel_backend", None)
+    key = (spec.run_token, spec.kpoint_index, kernel_backend)
     entry = _WORKER_CACHE.get(key)
     if entry is None:
         pipe = TransportPipeline(obc_method=spec.obc_method,
                                  solver=spec.solver,
                                  num_partitions=spec.num_partitions,
                                  obc_kwargs=spec.obc_kwargs,
-                                 use_arena=spec.use_arena)
+                                 use_arena=spec.use_arena,
+                                 backend=kernel_backend)
         dev = build_device(spec.structure, spec.basis, spec.num_cells,
                            kpoint=(0.0, spec.kz))
         if spec.potential is not None:
@@ -135,7 +142,8 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                      task_runner=None, energy_batch_size: int = 1,
                      checkpoint=None, backend: str | None = None,
                      num_workers: int | None = None,
-                     use_arena: bool = False) -> TransportSpectrum:
+                     use_arena: bool = False,
+                     kernel_backend: str | None = None) -> TransportSpectrum:
     """Run the full (k, E) transport loop on a structure.
 
     Parameters
@@ -189,6 +197,16 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         :class:`~repro.linalg.arena.Workspace` so steady-state energy
         batches reuse buffers instead of reallocating (bitwise-identical
         spectra; allocation telemetry via the span tracer).
+    kernel_backend : str, optional
+        Kernel-backend selector for the batched linear algebra
+        (:mod:`repro.linalg.backend`): a registered name (``"numpy"``,
+        ``"simulated-gpu"``, ``"mixed"``, ``"numba"``) or ``"auto"``.
+        Resolved where the solves run — each worker resolves ``"auto"``
+        against its *own* device's registered
+        :func:`~repro.hardware.node_spec`, so a heterogeneous machine
+        runs GPU-priced kernels only on GPU-carrying nodes.  ``None``
+        (default) defers to the ``REPRO_KERNEL_BACKEND`` environment
+        variable, then the bitwise-reference ``"numpy"`` backend.
 
     Notes
     -----
@@ -220,7 +238,8 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
 
     pipe = TransportPipeline(obc_method=obc_method, solver=solver,
                              num_partitions=num_partitions,
-                             obc_kwargs=obc_kwargs, use_arena=use_arena)
+                             obc_kwargs=obc_kwargs, use_arena=use_arena,
+                             backend=kernel_backend)
     caches = []
     for kz, _w in kgrid:
         dev = build_device(structure, basis, num_cells, kpoint=(0.0, kz))
@@ -273,7 +292,8 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
             num_partitions=num_partitions, obc_kwargs=obc_kwargs,
             energies=tuple(float(e) for e in energies[ies]),
             kpoint_index=ik, energy_indices=tuple(int(e) for e in ies),
-            run_token=token, use_arena=use_arena)
+            run_token=token, use_arena=use_arena,
+            kernel_backend=kernel_backend)
         tasks.append((ui, _make_task(pipe, caches[ik],
                                      energies[ies], ik, ies, spec)))
 

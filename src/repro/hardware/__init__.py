@@ -17,6 +17,9 @@ from repro.hardware.specs import (
     TITAN,
     PIZ_DAINT,
     K20X,
+    clear_node_specs,
+    node_spec,
+    register_node_spec,
 )
 from repro.hardware.machine import SimulatedMachine, RunEstimate
 from repro.hardware.power import PowerModel, power_profile
@@ -35,4 +38,7 @@ __all__ = [
     "PowerModel",
     "power_profile",
     "activity_table",
+    "clear_node_specs",
+    "node_spec",
+    "register_node_spec",
 ]

@@ -42,12 +42,28 @@ from repro.linalg.kernels import (
 from repro.linalg.blocktridiag import BlockTridiagonalMatrix
 from repro.linalg.batched import (
     BatchedBlockTridiag,
+    adjoint_batched,
     build_a_batch,
     bucket_by_width,
     gemm_batched,
     lu_factor_batched,
     lu_solve_batched,
     solve_batched,
+    take_factor,
+)
+from repro.linalg.backend import (
+    BackendCapabilities,
+    BackendUnavailableError,
+    KernelBackend,
+    NumpyBackend,
+    SimulatedGpuBackend,
+    available_backends,
+    backend_scope,
+    current_backend,
+    get_backend,
+    register_backend,
+    registered_backends,
+    resolve_backend,
 )
 
 __all__ = [
@@ -78,10 +94,24 @@ __all__ = [
     "qr_orth",
     "BlockTridiagonalMatrix",
     "BatchedBlockTridiag",
+    "adjoint_batched",
     "build_a_batch",
     "bucket_by_width",
     "gemm_batched",
     "lu_factor_batched",
     "lu_solve_batched",
     "solve_batched",
+    "take_factor",
+    "BackendCapabilities",
+    "BackendUnavailableError",
+    "KernelBackend",
+    "NumpyBackend",
+    "SimulatedGpuBackend",
+    "available_backends",
+    "backend_scope",
+    "current_backend",
+    "get_backend",
+    "register_backend",
+    "registered_backends",
+    "resolve_backend",
 ]

@@ -1,0 +1,390 @@
+"""Pluggable kernel backends for the batched dense primitives.
+
+:mod:`repro.linalg.batched` defines *what* the energy-batched kernels
+compute (stacked GEMM, LU factor/solve, direct solve, adjoint) and what
+they record in the flop ledger.  This module defines *who* executes
+them: a :class:`KernelBackend` exposes the same five batched primitives
+plus capability metadata, and the public functions in ``batched``
+dispatch to whichever backend is currently selected.
+
+Built-in backends
+-----------------
+``numpy``
+    The reference implementation — the exact NumPy/SciPy code path the
+    repo has always run.  Selecting it is bitwise identical to the
+    pre-backend code (the dispatchers call the very same functions).
+``simulated-gpu``
+    Reuses the reference kernels (bitwise identical results) but prices
+    every call through a :class:`~repro.hardware.specs.GpuSpec`
+    roofline, accumulating the seconds a real accelerator of that spec
+    would have taken.  Scheduling/perfmodel paths use it to exercise
+    heterogeneous backend selection without real device code.
+``numba``
+    JIT-compiled batched loops (:mod:`repro.linalg.numba_backend`).
+    Optional import: constructing it without numba installed raises
+    :class:`BackendUnavailableError`, and :func:`available_backends`
+    simply omits it.
+``mixed``
+    Mixed-precision LU with iterative refinement
+    (:mod:`repro.linalg.mixed`): complex64 factorization, complex128
+    refined solutions behind a per-slice residual gate with
+    double-precision fallback.
+
+Selection
+---------
+:func:`resolve_backend` accepts a backend instance, a registered name,
+``None`` (the ``REPRO_KERNEL_BACKEND`` environment variable, default
+``numpy``) or ``"auto"`` (per-node resolution from the
+:mod:`repro.hardware` node-spec registry: nodes whose spec carries a
+GPU pick ``simulated-gpu``).  :func:`backend_scope` installs a backend
+thread-locally — the pipeline wraps each solve in one, so worker
+threads and processes each resolve their own backend.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from abc import ABC, abstractmethod
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.errors import ConfigurationError
+
+
+class BackendUnavailableError(ConfigurationError):
+    """The requested kernel backend cannot run in this environment."""
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """Static capability metadata of one kernel backend.
+
+    ``deterministic`` means "bitwise identical to the reference
+    backend" — the conformance suite tests it literally.  Backends with
+    ``deterministic=False`` state their accuracy as ``tolerance``
+    (max relative deviation from the reference solution the backend
+    guarantees on well-conditioned inputs).
+    """
+
+    name: str
+    dtypes: tuple
+    native_batching: bool
+    precision: str
+    deterministic: bool
+    tolerance: float = 0.0
+    description: str = ""
+
+
+class KernelBackend(ABC):
+    """The batched-primitive protocol every backend implements.
+
+    Contracts shared by all implementations:
+
+    * shapes/validation as documented in :mod:`repro.linalg.batched`
+      (``(nE, m, n)`` stacks, ragged widths are the caller's problem);
+    * exactly the ledger-record discipline of the reference backend —
+      one record per batched call, analytic flop counts (which are
+      precision-independent), actual bytes of the arrays touched — so
+      stage/ledger reconciliation holds for every backend;
+    * ``lu_factor_batched`` returns an opaque factor object that only
+      the same backend's ``lu_solve_batched`` needs to understand.
+    """
+
+    capabilities: BackendCapabilities
+
+    @abstractmethod
+    def gemm_batched(self, a, b, tag: str = "", out=None):
+        """C[e] = A[e] @ B[e] over the stack."""
+
+    @abstractmethod
+    def lu_factor_batched(self, a, tag: str = ""):
+        """Stacked LU factorization; opaque factor object."""
+
+    @abstractmethod
+    def lu_solve_batched(self, fac, b, tag: str = ""):
+        """Solve with a factor object from ``lu_factor_batched``."""
+
+    @abstractmethod
+    def solve_batched(self, a, b, tag: str = ""):
+        """Solve A[e] x[e] = b[e] over the stack."""
+
+    @abstractmethod
+    def adjoint_batched(self, a):
+        """Per-slice conjugate transpose (no flops, no record)."""
+
+    def take_factor(self, fac, idx):
+        """Sub-batch of a stacked LU factor along the energy axis.
+
+        Lock-step drivers (batched FEAST) shrink their active set as
+        energies converge and re-solve through the surviving slices of
+        an existing factor.  The default handles the reference
+        ``(lu, piv)`` tuple; backends with opaque factor objects
+        override it.  No ledger record — nothing is recomputed.
+        """
+        lu, piv = fac
+        idx = np.asarray(idx, dtype=int)
+        return lu[idx], piv[idx]
+
+    def dispatch_overhead_s(self, repeats: int = 32) -> float:
+        """Measured per-call dispatch overhead of this backend (s).
+
+        Min-timed 1x2x2 ``gemm_batched`` under a throwaway ledger, so
+        the number reflects Python dispatch + record cost rather than
+        arithmetic.  Cached after the first measurement.
+        """
+        cached = getattr(self, "_dispatch_overhead_s", None)
+        if cached is not None:
+            return cached
+        import numpy as np
+
+        from repro.linalg.flops import FlopLedger, ledger_scope
+        a = np.eye(2, dtype=complex)[None]
+        best = float("inf")
+        with ledger_scope(FlopLedger()):
+            self.gemm_batched(a, a)          # warm up (JIT, caches)
+            for _ in range(max(int(repeats), 1)):
+                t0 = time.perf_counter()
+                self.gemm_batched(a, a)
+                best = min(best, time.perf_counter() - t0)
+        self._dispatch_overhead_s = float(best)
+        return self._dispatch_overhead_s
+
+    @property
+    def name(self) -> str:
+        return self.capabilities.name
+
+    def __repr__(self):
+        cap = self.capabilities
+        return (f"<{type(self).__name__} {cap.name!r} "
+                f"precision={cap.precision} "
+                f"deterministic={cap.deterministic}>")
+
+
+class NumpyBackend(KernelBackend):
+    """The reference backend: the unmodified NumPy/SciPy kernels.
+
+    The methods call the exact module functions that
+    :mod:`repro.linalg.batched` has always run — same BLAS calls, same
+    ledger records, bitwise-identical results by construction.
+    """
+
+    capabilities = BackendCapabilities(
+        name="numpy",
+        dtypes=("float64", "complex128"),
+        native_batching=True,
+        precision="double",
+        deterministic=True,
+        description="reference NumPy/SciPy stacked kernels")
+
+    def gemm_batched(self, a, b, tag: str = "", out=None):
+        from repro.linalg import batched as _b
+        return _b._gemm_batched_impl(a, b, tag=tag, out=out)
+
+    def lu_factor_batched(self, a, tag: str = ""):
+        from repro.linalg import batched as _b
+        return _b._lu_factor_batched_impl(a, tag=tag)
+
+    def lu_solve_batched(self, fac, b, tag: str = ""):
+        from repro.linalg import batched as _b
+        return _b._lu_solve_batched_impl(fac, b, tag=tag)
+
+    def solve_batched(self, a, b, tag: str = ""):
+        from repro.linalg import batched as _b
+        return _b._solve_batched_impl(a, b, tag=tag)
+
+    def adjoint_batched(self, a):
+        from repro.linalg import batched as _b
+        return _b._adjoint_batched_impl(a)
+
+
+class SimulatedGpuBackend(NumpyBackend):
+    """Reference kernels + GpuSpec roofline pricing per call.
+
+    Results and ledger records are bitwise those of the reference
+    backend; additionally every call's analytic flops/bytes are priced
+    at ``max(flops / peak, bytes / bandwidth)`` against the configured
+    :class:`~repro.hardware.specs.GpuSpec` and accumulated in
+    :attr:`simulated_seconds` — the time a real device of that spec
+    would have needed.  ``perfmodel`` paths read the accumulator to
+    exercise heterogeneous scheduling without device code.
+    """
+
+    def __init__(self, gpu=None):
+        if gpu is None:
+            from repro.hardware.specs import K20X
+            gpu = K20X
+        self.gpu = gpu
+        self.simulated_seconds = 0.0
+        self.simulated_calls = 0
+        self.capabilities = BackendCapabilities(
+            name="simulated-gpu",
+            dtypes=("float64", "complex128"),
+            native_batching=True,
+            precision="double",
+            deterministic=True,
+            description=f"numpy kernels priced as {gpu.model}")
+
+    def price_call(self, nflops: int, nbytes: int) -> float:
+        """Roofline seconds of one call on the simulated device."""
+        peak = (self.gpu.peak_dp_gflops * 1e9
+                * getattr(self.gpu, "sustained_fraction", 1.0))
+        bw = self.gpu.bandwidth_gb_s * 1e9
+        t_flop = nflops / peak if peak > 0 else 0.0
+        t_byte = nbytes / bw if bw > 0 else 0.0
+        return max(t_flop, t_byte)
+
+    def _priced(self, fn, *args, **kwargs):
+        from repro.linalg.flops import FlopLedger, current_ledger, \
+            ledger_scope
+        parent = current_ledger()
+        probe = FlopLedger(trace=parent.trace)
+        try:
+            with ledger_scope(probe):
+                return fn(*args, **kwargs)
+        finally:
+            parent.merge(probe)
+            self.simulated_seconds += self.price_call(
+                int(probe.total_flops),
+                int(sum(probe.bytes_by_device.values())))
+            self.simulated_calls += 1
+
+    def gemm_batched(self, a, b, tag: str = "", out=None):
+        return self._priced(super().gemm_batched, a, b, tag=tag, out=out)
+
+    def lu_factor_batched(self, a, tag: str = ""):
+        return self._priced(super().lu_factor_batched, a, tag=tag)
+
+    def lu_solve_batched(self, fac, b, tag: str = ""):
+        return self._priced(super().lu_solve_batched, fac, b, tag=tag)
+
+    def solve_batched(self, a, b, tag: str = ""):
+        return self._priced(super().solve_batched, a, b, tag=tag)
+
+
+# --------------------------------------------------------------------------
+# Registry and selection
+# --------------------------------------------------------------------------
+
+def _make_numba():
+    from repro.linalg.numba_backend import NumbaBackend
+    return NumbaBackend()
+
+
+def _make_mixed():
+    from repro.linalg.mixed import MixedPrecisionBackend
+    return MixedPrecisionBackend()
+
+
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "simulated-gpu": SimulatedGpuBackend,
+    "numba": _make_numba,
+    "mixed": _make_mixed,
+}
+_INSTANCES: dict = {}
+_REGISTRY_LOCK = threading.Lock()
+
+
+def register_backend(name: str, factory) -> None:
+    """Register (or replace) a backend factory under ``name``."""
+    with _REGISTRY_LOCK:
+        _FACTORIES[str(name)] = factory
+        _INSTANCES.pop(str(name), None)
+
+
+def registered_backends() -> tuple:
+    """All registered backend names (available or not)."""
+    return tuple(_FACTORIES)
+
+
+def get_backend(name: str) -> KernelBackend:
+    """The singleton instance of a registered backend.
+
+    Raises :class:`BackendUnavailableError` when the backend's factory
+    cannot construct in this environment (e.g. ``numba`` without numba
+    installed) and :class:`ConfigurationError` for unknown names.
+    """
+    name = str(name)
+    with _REGISTRY_LOCK:
+        inst = _INSTANCES.get(name)
+        if inst is not None:
+            return inst
+        factory = _FACTORIES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown kernel backend {name!r}; registered: "
+            f"{', '.join(sorted(_FACTORIES))}")
+    inst = factory()
+    with _REGISTRY_LOCK:
+        return _INSTANCES.setdefault(name, inst)
+
+
+def available_backends() -> tuple:
+    """Registered backend names that construct in this environment."""
+    out = []
+    for name in registered_backends():
+        try:
+            get_backend(name)
+        except BackendUnavailableError:
+            continue
+        out.append(name)
+    return tuple(out)
+
+
+def resolve_backend(backend=None) -> KernelBackend:
+    """Resolve a backend selector to an instance.
+
+    * ``KernelBackend`` instance — returned as-is;
+    * registered name — the singleton instance;
+    * ``None`` — the ``REPRO_KERNEL_BACKEND`` environment variable when
+      set, else ``numpy``;
+    * ``"auto"`` — per-node resolution: look up the current ledger
+      device name in the :mod:`repro.hardware` node-spec registry and
+      pick ``simulated-gpu`` for GPU-carrying nodes, ``numpy``
+      otherwise.  Workers run under ``device_scope(node)``, so on a
+      heterogeneous machine each worker resolves its own backend.
+    """
+    if isinstance(backend, KernelBackend):
+        return backend
+    if backend is None:
+        backend = os.environ.get("REPRO_KERNEL_BACKEND") or "numpy"
+    if backend == "auto":
+        from repro.hardware import node_spec
+        from repro.linalg.flops import current_device
+        spec = node_spec(current_device())
+        backend = "simulated-gpu" if spec is not None \
+            and spec.gpu is not None else "numpy"
+    return get_backend(backend)
+
+
+# --------------------------------------------------------------------------
+# Thread-local selection
+# --------------------------------------------------------------------------
+
+_tls = threading.local()
+
+
+def current_backend() -> KernelBackend:
+    """The backend the batched dispatchers use on this thread."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return resolve_backend(None)
+
+
+@contextmanager
+def backend_scope(backend=None):
+    """Install a kernel backend thread-locally; yields the instance."""
+    inst = resolve_backend(backend)
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(inst)
+    try:
+        yield inst
+    finally:
+        stack.pop()

@@ -17,6 +17,13 @@ record is ``nE`` times the per-matrix analytic count.  Stage/ledger
 reconciliation therefore holds unchanged; only the record (and event)
 granularity coarsens from per-matrix to per-batch.  Batched kernel names
 carry a ``_batched`` suffix so activity traces distinguish the two paths.
+
+Backends: the public module functions are thin dispatchers to the
+kernel backend selected via :mod:`repro.linalg.backend`
+(``backend_scope`` / ``REPRO_KERNEL_BACKEND``; default the reference
+``numpy`` backend).  The ``_*_impl`` functions below are the reference
+implementations — the exact code path the repo has always run — so
+selecting ``numpy`` is bitwise identical to the pre-backend behaviour.
 """
 
 from __future__ import annotations
@@ -51,11 +58,76 @@ def _check_stack(a: np.ndarray, name: str, square: bool = False):
 
 
 # --------------------------------------------------------------------------
-# Stacked kernels
+# Backend dispatch
 # --------------------------------------------------------------------------
+
+def _backend():
+    from repro.linalg.backend import current_backend
+    return current_backend()
+
 
 def gemm_batched(a: np.ndarray, b: np.ndarray, tag: str = "",
                  out: np.ndarray | None = None) -> np.ndarray:
+    """C[e] = A[e] @ B[e] for a whole energy stack (``zgemmBatched``).
+
+    Dispatches to the selected kernel backend; see
+    :func:`_gemm_batched_impl` for the reference contract.
+    """
+    return _backend().gemm_batched(a, b, tag=tag, out=out)
+
+
+def lu_factor_batched(a: np.ndarray, tag: str = ""):
+    """Stacked LU factorization (``zgetrfBatched``); opaque factor object.
+
+    Dispatches to the selected kernel backend; the factor object is
+    backend-specific and only meaningful to the same backend's
+    :func:`lu_solve_batched`.
+    """
+    return _backend().lu_factor_batched(a, tag=tag)
+
+
+def lu_solve_batched(fac, b: np.ndarray, tag: str = "") -> np.ndarray:
+    """Solve with a stacked LU factor (``zgetrsBatched``).
+
+    Dispatches to the selected kernel backend.
+    """
+    return _backend().lu_solve_batched(fac, b, tag=tag)
+
+
+def take_factor(fac, idx):
+    """Sub-batch of a stacked LU factor along the energy axis.
+
+    Dispatches to the selected kernel backend (factor objects are
+    backend-specific); the result solves through
+    :func:`lu_solve_batched` exactly as the corresponding slices of
+    the full factor would.
+    """
+    return _backend().take_factor(fac, idx)
+
+
+def solve_batched(a: np.ndarray, b: np.ndarray, tag: str = "") -> np.ndarray:
+    """Solve A[e] x[e] = b[e] over the stack (``zgesvBatched``).
+
+    Dispatches to the selected kernel backend.
+    """
+    return _backend().solve_batched(a, b, tag=tag)
+
+
+def adjoint_batched(a: np.ndarray) -> np.ndarray:
+    """Per-slice conjugate transpose of a matrix stack.
+
+    Dispatches to the selected kernel backend (pure layout: no flops,
+    no ledger record on any backend).
+    """
+    return _backend().adjoint_batched(a)
+
+
+# --------------------------------------------------------------------------
+# Stacked kernels — reference (numpy backend) implementations
+# --------------------------------------------------------------------------
+
+def _gemm_batched_impl(a: np.ndarray, b: np.ndarray, tag: str = "",
+                       out: np.ndarray | None = None) -> np.ndarray:
     """C[e] = A[e] @ B[e] for a whole energy stack (``zgemmBatched``).
 
     One matmul call, one ledger record of ``nE * gemm_flops(m, n, k)``.
@@ -80,7 +152,7 @@ def gemm_batched(a: np.ndarray, b: np.ndarray, tag: str = "",
     return c
 
 
-def lu_factor_batched(a: np.ndarray, tag: str = ""):
+def _lu_factor_batched_impl(a: np.ndarray, tag: str = ""):
     """Stacked LU factorization (``zgetrfBatched``); opaque factor object.
 
     One SciPy call over the ``(nE, n, n)`` stack, one ledger record of
@@ -101,7 +173,7 @@ def lu_factor_batched(a: np.ndarray, tag: str = ""):
     return fac
 
 
-def lu_solve_batched(fac, b: np.ndarray, tag: str = "") -> np.ndarray:
+def _lu_solve_batched_impl(fac, b: np.ndarray, tag: str = "") -> np.ndarray:
     """Solve with a stacked LU factor (``zgetrsBatched``).
 
     ``b`` is ``(nE, n, nrhs)``; all energies of one call share the rhs
@@ -120,7 +192,8 @@ def lu_solve_batched(fac, b: np.ndarray, tag: str = "") -> np.ndarray:
     return x
 
 
-def solve_batched(a: np.ndarray, b: np.ndarray, tag: str = "") -> np.ndarray:
+def _solve_batched_impl(a: np.ndarray, b: np.ndarray,
+                        tag: str = "") -> np.ndarray:
     """Solve A[e] x[e] = b[e] over the stack (``zgesvBatched``).
 
     One ``np.linalg.solve`` over ``(nE, n, n) x (nE, n, nrhs)``, one
@@ -261,7 +334,7 @@ def build_a_batch(h: BlockTridiagonalMatrix, s: BlockTridiagonalMatrix,
                                energies=np.real(e).reshape(-1))
 
 
-def adjoint_batched(a: np.ndarray) -> np.ndarray:
+def _adjoint_batched_impl(a: np.ndarray) -> np.ndarray:
     """Per-slice conjugate transpose of a matrix stack.
 
     Pure layout (no flops, no ledger record): slice ``e`` of the result is

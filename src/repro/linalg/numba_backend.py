@@ -1,0 +1,140 @@
+"""Optional numba backend: JIT-compiled batched kernel loops.
+
+Numba is an *optional* dependency: importing this module never fails,
+but constructing :class:`NumbaBackend` without numba installed raises
+:class:`~repro.linalg.backend.BackendUnavailableError`, which
+:func:`~repro.linalg.backend.available_backends` turns into a graceful
+omission (and the conformance suite into a skip).
+
+What gets JIT-compiled: the stacked GEMM and direct-solve loops — the
+calls whose per-slice Python/NumPy dispatch overhead dominates on the
+small blocks of realistic devices.  Inside the jitted loop numba's
+``np.dot``/``np.linalg.solve`` still call the underlying BLAS/LAPACK,
+so accuracy is that of the host library; results are *not* guaranteed
+bitwise against the reference backend (numpy's stacked ``matmul`` may
+batch differently than a per-slice loop), which is why the capability
+metadata states ``deterministic=False`` with a tight tolerance.  LU
+factor/solve delegate to the reference implementation — LAPACK GETRF
+is already one fused call per stack, with nothing for a JIT to win.
+
+Ledger records are identical to the reference backend (same kernel
+names, same analytic flop counts, same byte figures), so every
+reconciliation invariant holds unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.linalg import flops as _fl
+from repro.linalg.backend import (BackendCapabilities,
+                                  BackendUnavailableError, KernelBackend)
+from repro.linalg.batched import _check_stack, _is_complex, _record
+from repro.utils.errors import ShapeError, SingularMatrixError
+
+try:
+    from numba import njit as _njit
+    HAVE_NUMBA = True
+except ImportError:          # pragma: no cover - exercised in CI only
+    HAVE_NUMBA = False
+
+    def _njit(*args, **kwargs):
+        def deco(fn):
+            return fn
+        return deco
+
+
+@_njit(cache=True)
+def _gemm_stack(a, b, c):    # pragma: no cover - jitted in CI
+    for e in range(a.shape[0]):
+        c[e] = np.dot(a[e], b[e])
+
+
+@_njit(cache=True)
+def _solve_stack(a, b, x):   # pragma: no cover - jitted in CI
+    for e in range(a.shape[0]):
+        x[e] = np.linalg.solve(a[e], b[e])
+
+
+class NumbaBackend(KernelBackend):
+    """JIT-compiled batched loops for GEMM and direct solves."""
+
+    def __init__(self):
+        if not HAVE_NUMBA:
+            raise BackendUnavailableError(
+                "the 'numba' kernel backend needs numba installed; "
+                "pick 'numpy' (reference) or 'mixed' instead")
+        self.capabilities = BackendCapabilities(
+            name="numba",
+            dtypes=("float64", "complex128"),
+            native_batching=True,
+            precision="double",
+            deterministic=False,
+            tolerance=1e-12,
+            description="numba-jitted batched GEMM/solve loops")
+
+    def gemm_batched(self, a, b, tag: str = "", out=None):
+        a = np.ascontiguousarray(np.asarray(a))
+        b = np.ascontiguousarray(np.asarray(b))
+        _check_stack(a, "gemm_batched")
+        _check_stack(b, "gemm_batched")
+        if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+            raise ShapeError(
+                f"gemm_batched: incompatible stacks {a.shape} @ {b.shape}")
+        ne, m, k = a.shape
+        n = b.shape[2]
+        dtype = np.result_type(a.dtype, b.dtype)
+        t0 = time.perf_counter()
+        if out is None:
+            c = np.empty((ne, m, n), dtype=dtype)
+        else:
+            if out.shape != (ne, m, n):
+                raise ShapeError(
+                    f"gemm_batched: out has shape {out.shape}, "
+                    f"expected {(ne, m, n)}")
+            c = out
+        _gemm_stack(a.astype(dtype, copy=False),
+                    b.astype(dtype, copy=False), c)
+        cx = _is_complex(a, b)
+        _record("zgemm_batched" if cx else "dgemm_batched",
+                ne * _fl.gemm_flops(m, n, k, cx),
+                a.nbytes + b.nbytes + c.nbytes, t0, tag)
+        return c
+
+    def solve_batched(self, a, b, tag: str = ""):
+        a = np.ascontiguousarray(np.asarray(a))
+        b = np.ascontiguousarray(np.asarray(b))
+        _check_stack(a, "solve_batched", square=True)
+        _check_stack(b, "solve_batched")
+        if a.shape[0] != b.shape[0] or a.shape[2] != b.shape[1]:
+            raise ShapeError(
+                f"solve_batched: incompatible stacks {a.shape}, {b.shape}")
+        dtype = np.result_type(a.dtype, b.dtype, np.float64)
+        t0 = time.perf_counter()
+        x = np.empty(b.shape, dtype=dtype)
+        try:
+            _solve_stack(a.astype(dtype, copy=False),
+                         b.astype(dtype, copy=False), x)
+        except Exception as exc:   # numba raises its own LinAlgError
+            raise SingularMatrixError(
+                f"batched solve failed: {exc}") from exc
+        ne, n, nrhs = x.shape
+        cx = _is_complex(a, b)
+        _record("zgesv_batched" if cx else "dgesv_batched",
+                ne * _fl.solve_flops(n, nrhs, cx),
+                a.nbytes + b.nbytes + x.nbytes, t0, tag)
+        return x
+
+    def lu_factor_batched(self, a, tag: str = ""):
+        from repro.linalg import batched as _b
+        return _b._lu_factor_batched_impl(a, tag=tag)
+
+    def lu_solve_batched(self, fac, b, tag: str = ""):
+        from repro.linalg import batched as _b
+        return _b._lu_solve_batched_impl(fac, b, tag=tag)
+
+    def adjoint_batched(self, a):
+        from repro.linalg import batched as _b
+        return _b._adjoint_batched_impl(a)

@@ -24,7 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.linalg import geig, lu_factor, lu_solve
-from repro.linalg.batched import lu_factor_batched, lu_solve_batched
+from repro.linalg.batched import (lu_factor_batched, lu_solve_batched,
+                                  take_factor)
 from repro.utils.errors import ConfigurationError, ShapeError
 
 
@@ -351,10 +352,12 @@ class PolynomialEVPStack:
 
     @staticmethod
     def take_factor(factor, idx):
-        """Sub-batch of a stacked factor along the energy axis."""
-        lu, piv = factor
-        idx = np.asarray(idx, dtype=int)
-        return lu[idx], piv[idx]
+        """Sub-batch of a stacked factor along the energy axis.
+
+        Factor objects are kernel-backend-specific, so this dispatches
+        through :func:`repro.linalg.batched.take_factor`.
+        """
+        return take_factor(factor, idx)
 
     def resolvent_apply(self, z: complex, ys: np.ndarray, factor=None,
                         idx=None) -> np.ndarray:

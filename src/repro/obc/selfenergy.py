@@ -337,6 +337,8 @@ def _obc_decimation_batch(lead: LeadBlocks, energies, *,
     t01s = np.stack([(e * lead.s01 - lead.h01).astype(complex)
                      for e in energies])
     gls, grs, iters = sancho_rubio_batch(t00s, t01s, eta=eta, **kwargs)
+    from repro.perfmodel.bytemodel import sancho_rubio_byte_model
+    n = t00s.shape[1]
     obs = []
     for j, e in enumerate(energies):
         sigma_l, sigma_r = sigma_from_surface_gf(gls[j], grs[j], t01s[j])
@@ -344,6 +346,8 @@ def _obc_decimation_batch(lead: LeadBlocks, energies, *,
                           t01=t01s[j], ml=None, mr=None, modes=None,
                           injected=[], method="decimation")
         ob.info["iterations"] = int(iters[j])
+        ob.info["predicted_bytes"] = sancho_rubio_byte_model(
+            n, int(iters[j]))
         obs.append(ob)
     return obs
 

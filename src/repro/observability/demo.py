@@ -52,7 +52,8 @@ from repro.utils.errors import ConfigurationError
 def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                            trace_path=None, jsonl_path=None,
                            energy_batch_size: int = 2,
-                           backend: str = "thread") -> dict:
+                           backend: str = "thread",
+                           kernel_backend: str | None = None) -> dict:
     """Run the traced production loop and collect every report input.
 
     Parameters
@@ -66,11 +67,18 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
         the module docstring).
     backend : ``"thread"`` (the default: a fault-protected
         :class:`~repro.runtime.ResilientTaskRunner` over threads) or
-        ``"process"`` (a bare
-        :class:`~repro.parallel.ProcessTaskRunner` — the resilient
-        wrapper's guarded closures cannot cross the pickle boundary, so
-        the process demo exercises the merge path instead of retries).
-        Either way the same reconciliation must hold exactly.
+        ``"process"`` (the same resilient wrapper around a
+        :class:`~repro.parallel.ProcessTaskRunner` — the guarded tasks
+        ship a picklable ``_retry_run`` descriptor, so retries execute
+        worker-side with the identical policy).  Either way the same
+        reconciliation must hold exactly.
+    kernel_backend : optional kernel-backend name for the transport
+        solves (``"numpy"``, ``"mixed"``, ``"simulated-gpu"``,
+        ``"numba"``, ``"auto"``).  Every backend keeps the same ledger
+        discipline — one record per batched call — so the flop/byte
+        reconciliation holds exactly under all of them, mixed precision
+        included (its ``cgetrf``/``cgetrs`` records carry analytic flop
+        counts and the actual low-precision bytes).
 
     Returns a dict with the production ``result``, the ``tracer``, its
     ``spans``/``metrics``, the runner ``telemetry``, the span-derived
@@ -90,7 +98,8 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
 
     if backend == "process":
         from repro.parallel import ProcessTaskRunner
-        runner = ProcessTaskRunner(num_workers=num_nodes)
+        runner = ResilientTaskRunner(
+            ProcessTaskRunner(num_workers=num_nodes), max_retries=1)
     elif backend == "thread":
         runner = ResilientTaskRunner(
             ThreadTaskRunner(num_workers=num_nodes), max_retries=1)
@@ -107,7 +116,7 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                     num_k=1, num_nodes=num_nodes,
                     scf_kwargs=scf_kwargs, task_runner=runner,
                     energy_batch_size=int(energy_batch_size),
-                    use_arena=True)
+                    use_arena=True, kernel_backend=kernel_backend)
     finally:
         if hasattr(runner, "close"):
             runner.close()

@@ -10,6 +10,8 @@ from repro.perfmodel.costmodel import (
     splitsolve_flop_model,
     rgf_flop_model,
     rgf_batched_flop_model,
+    mixed_refinement_flop_model,
+    mixed_rate_multiplier,
     measure_flops,
     extrapolate_flops,
 )
@@ -20,6 +22,9 @@ from repro.perfmodel.bytemodel import (
     solve_bytes,
     rgf_byte_model,
     rgf_batched_byte_model,
+    sancho_rubio_byte_model,
+    mixed_lu_factor_bytes,
+    mixed_lu_solve_bytes,
     splitsolve_byte_model,
     byte_drift,
 )
@@ -34,6 +39,8 @@ __all__ = [
     "splitsolve_flop_model",
     "rgf_flop_model",
     "rgf_batched_flop_model",
+    "mixed_refinement_flop_model",
+    "mixed_rate_multiplier",
     "measure_flops",
     "extrapolate_flops",
     "gemm_bytes",
@@ -42,6 +49,9 @@ __all__ = [
     "solve_bytes",
     "rgf_byte_model",
     "rgf_batched_byte_model",
+    "sancho_rubio_byte_model",
+    "mixed_lu_factor_bytes",
+    "mixed_lu_solve_bytes",
     "splitsolve_byte_model",
     "byte_drift",
     "WeakScalingRow",

@@ -120,6 +120,57 @@ def rgf_batched_byte_model(num_blocks: int, block_size, rhs_widths,
     return total
 
 
+def sancho_rubio_byte_model(n: int, iterations,
+                            is_complex: bool = True) -> int:
+    """Bytes of Sancho-Rubio decimation at one or many energies.
+
+    Transcribes the kernel sequence of
+    :func:`repro.obc.decimation.sancho_rubio` — and, slice for slice, of
+    the masked :func:`~repro.obc.decimation.sancho_rubio_batch`, whose
+    active-set stacking records exactly the per-energy sum.  Per
+    (energy, iteration): one ``(n, 2n)``-wide block solve against the
+    renormalized ``eps`` plus four ``(n, n, n)`` gemms; the convergence
+    exit's two small inverses are plain ``np.linalg.inv`` calls the
+    ledger never sees, so they are (correctly) absent here.
+
+    ``iterations`` is one energy's iteration count or a sequence of
+    per-energy counts (e.g. the third return of ``sancho_rubio_batch``).
+    """
+    total_iters = int(iterations) if np.isscalar(iterations) \
+        else int(sum(int(i) for i in iterations))
+    per_iter = (solve_bytes(n, 2 * n, is_complex)
+                + 4 * gemm_bytes(n, n, n, is_complex))
+    return total_iters * per_iter
+
+
+def mixed_lu_factor_bytes(n: int, is_complex: bool = True) -> int:
+    """Bytes one mixed-precision ``lu_factor_batched`` records per slice.
+
+    The mixed backend reads the complex128 input once, keeps a
+    complex128 copy for the refinement residuals, and factors the
+    complex64 cast in place: ``2 * nbytes(z) + 3 * nbytes(c)`` with
+    ``nbytes(c) = nbytes(z) / 2``.
+    """
+    nz = n * n * _itemsize(is_complex)
+    return 2 * nz + 3 * (nz // 2)
+
+
+def mixed_lu_solve_bytes(n: int, nrhs: int, refine_iters: int = 1,
+                         is_complex: bool = True) -> int:
+    """Bytes one mixed refined solve records per slice.
+
+    One low-precision back-substitution sweep (rhs + solution at half
+    width) for the first solution plus one per refinement iteration,
+    and one double-precision residual gemm (matrix + x + r) per
+    residual check — ``refine_iters + 1`` checks for ``refine_iters``
+    corrections (the final check is what passes the gate).
+    """
+    half = _itemsize(is_complex) // 2
+    sweep = 2 * n * nrhs * half
+    residual = gemm_bytes(n, nrhs, n, is_complex)
+    return (1 + refine_iters) * sweep + (refine_iters + 1) * residual
+
+
 def splitsolve_byte_model(num_blocks: int, block_size: int, num_rhs: int,
                           num_partitions: int = 1,
                           is_complex: bool = True) -> int:

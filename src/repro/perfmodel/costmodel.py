@@ -141,6 +141,51 @@ def rgf_batched_flop_model(num_blocks: int, block_size: int, rhs_widths,
     return total
 
 
+def mixed_refinement_flop_model(n: int, nrhs: int, refine_iters: int = 1,
+                                is_complex: bool = True) -> int:
+    """Flops one mixed-precision refined solve records per slice.
+
+    Transcribes :meth:`repro.linalg.mixed.MixedPrecisionBackend.\
+lu_solve_batched`: one low-precision back-substitution sweep for the
+    first solution plus one per refinement iteration (analytic counts
+    are precision-independent — ``cgetrs`` and ``zgetrs`` run the same
+    operations), and one double-precision residual gemm per residual
+    check, ``refine_iters + 1`` checks for ``refine_iters`` corrections.
+    """
+    sweeps = (1 + refine_iters) * 2 * _fl.trsm_flops(n, nrhs, is_complex)
+    residuals = (refine_iters + 1) * _fl.gemm_flops(n, nrhs, n, is_complex)
+    return sweeps + residuals
+
+
+#: Fraction of a solver's leading-order flops spent in the LU
+#: factor + triangular-solve kernels the mixed backend runs in
+#: complex64 (the remainder — Schur/spike/residual gemms — stays
+#: double).  ~1/2 for both SplitSolve and RGF at m ~ s.
+MIXED_FACTOR_FRACTION = 0.5
+
+
+def mixed_rate_multiplier(node=None) -> float:
+    """Effective throughput gain of the mixed backend over full double.
+
+    Amdahl over the kernel mix: the factor/back-substitution fraction
+    (:data:`MIXED_FACTOR_FRACTION`) speeds up by the device's SP/DP
+    rate ratio, the gemm remainder does not; the O(n^2) refinement
+    sweeps are lower-order and already inside the measured SP rate's
+    slack.  ``node`` is a :class:`~repro.hardware.specs.NodeSpec` (or
+    anything with a ``gpu``); without one the canonical 2x SP/DP ratio
+    is assumed.
+    """
+    ratio = 2.0
+    if node is not None:
+        gpu = getattr(node, "gpu", node)
+        try:
+            ratio = gpu.sp_gflops() / gpu.peak_dp_gflops
+        except (AttributeError, ZeroDivisionError):
+            ratio = 2.0
+    f = MIXED_FACTOR_FRACTION
+    return 1.0 / (f / ratio + (1.0 - f))
+
+
 def _device_rate_ratio() -> float:
     """Sustained GPU/CPU rate ratio used to weigh solver flop counts.
 
@@ -191,7 +236,7 @@ DISPATCH_FLOPS_PER_CALL = 5e4
 def choose_batch_solver(num_blocks: int, block_size: int, rhs_widths,
                         num_partitions: int = 1, hermitian: bool = False,
                         dispatch_flops: float | None = None,
-                        machine=None) -> str:
+                        machine=None, backend: str | None = None) -> str:
     """SOLVE-stage choice for one (k, E-batch) bucket (``solver="auto"``).
 
     Per-energy SplitSolve runs each energy on the accelerators (flops
@@ -211,6 +256,14 @@ def choose_batch_solver(num_blocks: int, block_size: int, rhs_widths,
     roofline time, so a memory-bound candidate is charged for its
     traffic, not its arithmetic.  Without ``machine`` the historical
     flop-only comparison runs unchanged.
+
+    ``backend`` names the active kernel backend.  ``"mixed"`` scales
+    both candidates' arithmetic terms by
+    :func:`mixed_rate_multiplier` — the kernel backend is a global
+    substitution, so the complex64 factor speedup applies to whichever
+    solver wins; byte traffic is left at the double-precision figure
+    (the residual copies offset the half-width factors).  Other backend
+    names price like the reference.
     """
     widths = [int(m) for m in rhs_widths if int(m) > 0]
     if not widths or num_blocks < 2:
@@ -223,19 +276,21 @@ def choose_batch_solver(num_blocks: int, block_size: int, rhs_widths,
     rgf = rgf_batched_flop_model(num_blocks, block_size, widths)
     if machine is None:
         ratio = _device_rate_ratio()
-        ss_cost = ss / ratio + len(widths) * d
-        rgf_cost = rgf + d
+        mult = mixed_rate_multiplier() if backend == "mixed" else 1.0
+        ss_cost = ss / (ratio * mult) + len(widths) * d
+        rgf_cost = rgf / mult + d
         return "splitsolve" if ss_cost <= rgf_cost else "rgf_batched"
 
     from repro.perfmodel.bytemodel import (rgf_batched_byte_model,
                                            splitsolve_byte_model)
     node = machine.node if hasattr(machine, "node") else machine
+    mult = mixed_rate_multiplier(node) if backend == "mixed" else 1.0
     gpu_rate = (node.gpu.peak_dp_gflops * 1e9
-                * node.gpu.sustained_fraction)
+                * node.gpu.sustained_fraction * mult)
     gpu_bw = node.gpu.bandwidth_gb_s * 1e9
     cpu_rate = (node.cpu.peak_dp_gflops * 1e9
                 * node.cpu.sustained_fraction
-                * node.usable_core_fraction)
+                * node.usable_core_fraction * mult)
     cpu_bw = node.cpu.bandwidth_gb_s * 1e9
     ss_bytes = sum(splitsolve_byte_model(num_blocks, block_size, m,
                                          num_partitions=num_partitions)

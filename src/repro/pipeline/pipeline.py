@@ -25,6 +25,7 @@ import numpy as np
 
 from repro.linalg.arena import (Workspace, arena_scope, scratch,
                                 scratch_release)
+from repro.linalg.backend import backend_scope, resolve_backend
 from repro.linalg.batched import bucket_by_width
 from repro.negf.transmission import EnergyPointResult, analyze_solution
 from repro.observability.spans import current_tracer
@@ -47,12 +48,19 @@ class TransportPipeline:
     def __init__(self, obc_method: str = "feast",
                  solver: str = "splitsolve", num_partitions: int = 1,
                  parallel: bool = False, obc_kwargs: dict | None = None,
-                 obc_warm_start: bool = False, use_arena: bool = False):
+                 obc_warm_start: bool = False, use_arena: bool = False,
+                 backend=None):
         self.obc_method = obc_method
         self.solver = solver
         self.num_partitions = num_partitions
         self.parallel = parallel
         self.obc_kwargs = dict(obc_kwargs or {})
+        #: kernel-backend selector (name, instance, ``"auto"``, or
+        #: ``None`` for the ambient default) — resolved per solve via
+        #: :func:`repro.linalg.backend.resolve_backend`, so ``"auto"``
+        #: re-reads the current node's spec on every call and worker
+        #: processes resolve against their own device scope
+        self.backend = backend
         #: warm-start the batched OBC stage (FEAST seeded energy-to-energy;
         #: fewer refinement iterations, round-off-level deviations from the
         #: default lock-step mode, which is bitwise == per-energy)
@@ -86,6 +94,15 @@ class TransportPipeline:
         precomputed :class:`~repro.obc.selfenergy.OpenBoundary` (e.g. when
         comparing solvers at one point).
         """
+        with backend_scope(resolve_backend(self.backend)) as bk:
+            return self._solve_point_impl(device, energy, bk,
+                                          boundary=boundary,
+                                          kpoint_index=kpoint_index,
+                                          energy_index=energy_index)
+
+    def _solve_point_impl(self, device, energy: float, bk, *,
+                          boundary=None, kpoint_index: int = -1,
+                          energy_index: int = -1) -> EnergyPointResult:
         cache = as_cache(device)
         trace = TaskTrace(kpoint_index=kpoint_index,
                           energy_index=energy_index, energy=float(energy))
@@ -134,6 +151,8 @@ class TransportPipeline:
                 num_rhs=int(inj.shape[1]),
                 num_partitions=self.num_partitions)
             st.meta["solver"] = name
+            st.meta["backend"] = bk.name
+            st.meta["precision"] = bk.capabilities.precision
             info: dict = {}
             psi = SOLVERS.get(name)(
                 a, ob, inj, num_partitions=self.num_partitions,
@@ -201,6 +220,12 @@ class TransportPipeline:
 
     def _solve_batch_impl(self, cache, energies, kpoint_index,
                           energy_indices) -> list:
+        with backend_scope(resolve_backend(self.backend)) as bk:
+            return self._solve_batch_stages(cache, energies, kpoint_index,
+                                            energy_indices, bk)
+
+    def _solve_batch_stages(self, cache, energies, kpoint_index,
+                            energy_indices, bk) -> list:
         ne = len(energies)
         traces = [TaskTrace(kpoint_index=kpoint_index,
                             energy_index=int(ie), energy=e)
@@ -225,7 +250,16 @@ class TransportPipeline:
             for ob, st in zip(obs, sts):
                 st.meta["method"] = ob.method or self.obc_method
                 st.meta["batch_size"] = ne
+                st.meta["backend"] = bk.name
+                st.meta["precision"] = bk.capabilities.precision
                 st.meta["weight"] = float(ob.info.get("iterations", 1))
+                if ("predicted_bytes" in ob.info
+                        and bk.capabilities.deterministic):
+                    # byte models transcribe the reference kernels, so
+                    # the drift verdict only applies when the backend
+                    # records reference traffic
+                    st.meta["predicted_bytes"] = int(
+                        ob.info["predicted_bytes"])
                 if tracer is not None:
                     tracer.metrics.histogram("obc_iterations").observe(
                         int(ob.info.get("iterations", 1)))
@@ -308,10 +342,13 @@ class TransportPipeline:
                             num_partitions=self.num_partitions,
                             parallel=self.parallel, info=info))
                 predicted = self._predicted_solve_bytes(cache, name,
-                                                        width)
+                                                        width) \
+                    if bk.capabilities.deterministic else None
                 for st in sts:
                     st.meta.update(solver=name,
-                                   bucket_size=len(pos), num_rhs=width)
+                                   bucket_size=len(pos), num_rhs=width,
+                                   backend=bk.name,
+                                   precision=bk.capabilities.precision)
                     if predicted is not None:
                         st.meta["predicted_bytes"] = int(predicted)
             for slot, j in enumerate(pos):

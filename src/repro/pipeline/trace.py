@@ -119,12 +119,16 @@ def stage_scope(trace: TaskTrace, name: str, timer: StageTimer | None = None):
             "bytes", int(sum(probe.bytes_by_device.values())))
         tracer = current_tracer()
         if tracer is not None:
+            attrs = {"kpoint": trace.kpoint_index,
+                     "energy_index": trace.energy_index,
+                     "energy": trace.energy}
+            for key in ("backend", "precision"):
+                if key in st.meta:
+                    attrs[key] = st.meta[key]
             tracer.emit(name, category="stage", t_start=t0,
                         seconds=st.seconds, flops=st.flops,
                         bytes_moved=st.meta["bytes"],
-                        attrs={"kpoint": trace.kpoint_index,
-                               "energy_index": trace.energy_index,
-                               "energy": trace.energy})
+                        attrs=attrs)
 
 
 def apportion_exact(total: int, weights) -> list:
@@ -215,6 +219,13 @@ def batch_stage_scope(traces, name: str, weights=None):
                             for st in sts)
             if predicted > 0:
                 attrs["predicted_bytes"] = predicted
+            # kernel-backend attribution: forwarded only when every task
+            # in the batch agrees (they do — the scope runs under one
+            # backend_scope), so spans never misattribute a mixed batch.
+            for key in ("backend", "precision"):
+                vals = {st.meta.get(key) for st in sts}
+                if len(vals) == 1 and None not in vals:
+                    attrs[key] = vals.pop()
             tracer.emit(name, category="stage", t_start=t0,
                         seconds=elapsed, flops=int(probe.total_flops),
                         bytes_moved=total_bytes, attrs=attrs)

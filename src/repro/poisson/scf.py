@@ -55,7 +55,8 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                          task_runner=None,
                          energy_batch_size: int = 1,
                          use_arena: bool = False,
-                         checkpoint=None) -> SCFResult:
+                         checkpoint=None,
+                         kernel_backend: str | None = None) -> SCFResult:
     """Run the self-consistent Schroedinger-Poisson loop.
 
     Parameters
@@ -78,6 +79,10 @@ def schroedinger_poisson(structure, basis, num_cells: int,
     use_arena : forwarded to :func:`repro.core.runner.compute_spectrum`;
         the inner transport solves reuse workspace-arena scratch buffers
         (bitwise-identical spectra).
+    kernel_backend : forwarded to
+        :func:`repro.core.runner.compute_spectrum`; selects the kernel
+        backend of the inner transport solves (``"numpy"`` reference,
+        ``"mixed"``, ``"simulated-gpu"``, ``"numba"``, or ``"auto"``).
     checkpoint : path or :class:`repro.runtime.CheckpointStore`, optional
         Persist the loop state after every completed iteration — one
         (k, E) batch — and resume from it when the file already exists.
@@ -146,7 +151,8 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                 solver=solver, potential=pot,
                 task_runner=task_runner,
                 energy_batch_size=energy_batch_size,
-                use_arena=use_arena)
+                use_arena=use_arena,
+                kernel_backend=kernel_backend)
             # (ii) accumulate density (trapezoid over the energy grid)
             dev = None
             dens_orb = None

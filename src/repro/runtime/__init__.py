@@ -21,7 +21,8 @@ is the invariant the regression tests pin.
 
 from repro.runtime.checkpoint import CheckpointStore, as_store
 from repro.runtime.faults import FaultDecision, FaultInjector, FaultProfile
-from repro.runtime.resilience import ResilientTaskRunner, RunTelemetry
+from repro.runtime.resilience import (ResilientTaskRunner, RetryPolicy,
+                                      RunTelemetry)
 
 __all__ = [
     "CheckpointStore",
@@ -30,5 +31,6 @@ __all__ = [
     "FaultInjector",
     "FaultProfile",
     "ResilientTaskRunner",
+    "RetryPolicy",
     "RunTelemetry",
 ]

@@ -19,12 +19,98 @@ from __future__ import annotations
 
 import time
 import warnings
+from dataclasses import dataclass
 
 from repro.linalg.flops import FlopLedger, current_ledger, ledger_scope
 from repro.observability.metrics import MetricsRegistry
 from repro.observability.spans import current_tracer
 from repro.utils.errors import (ConfigurationError, NodeFailureError,
                                 TaskExecutionError, TaskTimeoutError)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Plain-data retry parameters that survive the pickle boundary.
+
+    The worker-side twin of :class:`ResilientTaskRunner`'s settings:
+    :func:`_retry_run` re-reads them inside the worker process, so the
+    process backend gets the same per-task retry/backoff/timeout
+    semantics the in-process closures provide.
+    """
+
+    max_retries: int = 3
+    backoff_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 1.0
+    timeout_s: float | None = None
+    retry_on: tuple = (Exception,)
+    task_index: int = 0
+
+
+def _retry_run(policy: RetryPolicy, descriptor):
+    """Worker-side retry loop around one task descriptor.
+
+    Module-level (pickled by reference): when
+    :class:`ResilientTaskRunner` wraps a descriptor-shipping runner like
+    :class:`~repro.parallel.process.ProcessTaskRunner`, the guarded task
+    it builds carries ``TaskDescriptor(_retry_run, (policy, inner))`` —
+    so retries execute *inside the worker*, next to the failure, instead
+    of needing the un-picklable parent closure.
+
+    Accounting mirrors the in-process path: each attempt runs under a
+    probe ledger merged into the worker's task ledger only on success,
+    so a retried-but-recovered unit ships home the same flop totals as
+    a fault-free one.  Counters go through the worker-local tracer
+    metrics (merged into the runner telemetry by the parent) — only the
+    *extra* attempts are counted here, because the process runner
+    already records one attempt per submitted task.  A
+    :class:`~repro.utils.errors.ConfigurationError` is never retried.
+    """
+    last_exc = None
+    tracer = current_tracer()
+    for attempt in range(policy.max_retries + 1):
+        if attempt:
+            if policy.backoff_s > 0:
+                time.sleep(min(policy.backoff_s * policy.backoff_factor
+                               ** (attempt - 1), policy.backoff_cap_s))
+            if tracer is not None:
+                tracer.metrics.counter("attempts").inc()
+                tracer.metrics.counter("retries").inc()
+        target = current_ledger()
+        probe = FlopLedger()
+        t0 = time.perf_counter()
+        try:
+            with ledger_scope(probe):
+                out = descriptor.run()
+            elapsed = time.perf_counter() - t0
+            if policy.timeout_s is not None and elapsed > policy.timeout_s:
+                raise TaskTimeoutError(
+                    f"task {policy.task_index} attempt {attempt} took "
+                    f"{elapsed:.3g} s (budget {policy.timeout_s} s)",
+                    elapsed_s=elapsed, timeout_s=policy.timeout_s)
+        except policy.retry_on as exc:
+            if isinstance(exc, ConfigurationError):
+                raise  # a programming error is never transient
+            if tracer is not None:
+                tracer.metrics.labeled("failures_by_type").inc(
+                    type(exc).__name__)
+                tracer.metrics.counter("wasted_flops").inc(
+                    int(probe.total_flops))
+                tracer.metrics.counter("wasted_time_s").inc(
+                    time.perf_counter() - t0)
+                if isinstance(exc, TaskTimeoutError):
+                    tracer.metrics.counter("timeouts").inc()
+            last_exc = exc
+            continue
+        target.merge(probe)
+        return out
+    if tracer is not None:
+        tracer.metrics.counter("giveups").inc()
+    raise TaskExecutionError(
+        f"task {policy.task_index} failed after "
+        f"{policy.max_retries + 1} worker-side attempts: {last_exc}",
+        task_index=policy.task_index, node="",
+        attempts=policy.max_retries + 1) from last_exc
 
 
 class RunTelemetry:
@@ -243,6 +329,15 @@ class ResilientTaskRunner:
     Retries re-execute the identical, side-effect-free task closure, so a
     protected run returns results bit-identical to a fault-free run —
     the property the determinism tests pin down.
+
+    When a wrapped task carries a
+    :class:`~repro.parallel.serialization.TaskDescriptor` (the process
+    backend's shipping format), the guarded task gets one too:
+    ``TaskDescriptor(_retry_run, (RetryPolicy(...), inner))``.  The
+    retry loop then runs *inside the worker process* with the same
+    policy, so ``ResilientTaskRunner(ProcessTaskRunner(...))`` composes
+    — fault injection stays parent-side only, but real worker exceptions
+    are retried next to where they happened.
     """
 
     def __init__(self, task_runner=None, *, max_retries: int = 3,
@@ -265,7 +360,14 @@ class ResilientTaskRunner:
         self.timeout_s = timeout_s
         self.fault_injector = fault_injector
         self.retry_on = retry_on
-        self.telemetry = RunTelemetry()
+        # Share the wrapped runner's telemetry when it keeps one (the
+        # process runner does): worker metrics merge into the inner
+        # object, parent-side submissions record into this one — one
+        # shared registry means one coherent report, no double count.
+        inner = getattr(task_runner, "telemetry", None)
+        self._shared_telemetry = isinstance(inner, RunTelemetry)
+        self.telemetry = inner if self._shared_telemetry \
+            else RunTelemetry()
 
     @property
     def num_workers(self) -> int:
@@ -301,7 +403,11 @@ class ResilientTaskRunner:
 
     def __call__(self, tasks) -> list:
         tasks = list(tasks)
-        self.telemetry.record_submitted(len(tasks))
+        if not self._shared_telemetry:
+            # a telemetry-keeping wrapped runner records its own
+            # submissions into the shared registry; recording here too
+            # would double count
+            self.telemetry.record_submitted(len(tasks))
         guarded = [self._make_resilient(i, t) for i, t in enumerate(tasks)]
         if self.task_runner is None:
             return [g() for g in guarded]
@@ -372,4 +478,29 @@ class ResilientTaskRunner:
                 f"attempts (last on {node}): {last_exc}",
                 task_index=index, node=node,
                 attempts=self.max_retries + 1) from last_exc
+
+        inner_desc = getattr(task, "descriptor", None)
+        if inner_desc is not None:
+            # descriptor-shipping runners (the process backend) cannot
+            # pickle the closure above; give them a module-level retry
+            # wrapper around the task's own descriptor instead, so the
+            # retry loop runs worker-side with the same policy.
+            from repro.parallel.serialization import TaskDescriptor
+            if isinstance(inner_desc, TaskDescriptor):
+                run.descriptor = TaskDescriptor(
+                    fn=_retry_run,
+                    args=(RetryPolicy(
+                        max_retries=self.max_retries,
+                        backoff_s=self.backoff_s,
+                        backoff_factor=self.backoff_factor,
+                        backoff_cap_s=self.backoff_cap_s,
+                        timeout_s=self.timeout_s,
+                        retry_on=tuple(self.retry_on),
+                        task_index=index), inner_desc))
         return run
+
+    def close(self) -> None:
+        """Release the wrapped runner's resources (worker pools)."""
+        close = getattr(self.task_runner, "close", None)
+        if close is not None:
+            close()

@@ -1,0 +1,18 @@
+"""Shared fixtures."""
+
+import pytest
+
+
+@pytest.fixture
+def reference_kernel_backend(monkeypatch):
+    """Pin the reference kernel backend for bitwise-parity tests.
+
+    Modules whose invariants compare batched against per-energy results
+    *bitwise* opt in via ``pytestmark``: those invariants are about
+    batching, not backends, and must not be skewed by an ambient
+    ``REPRO_KERNEL_BACKEND`` (the CI legs that re-run the suite under
+    ``mixed``/``numba`` rely on this).  The environment variable — not a
+    thread-local scope — is pinned so worker threads and spawned worker
+    processes resolve the same reference backend.
+    """
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")

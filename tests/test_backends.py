@@ -1,0 +1,417 @@
+"""Conformance suite for the pluggable kernel backends.
+
+Every registered backend must satisfy the same contract on the batched
+primitives: identical shapes, one flop-ledger record per batched call
+with analytic (precision-independent) flop counts, and results that are
+either bitwise identical to the reference backend (``deterministic``
+capabilities) or within the advertised tolerance (the mixed-precision
+backend's residual gate).  The suite also pins the selection machinery
+(registry, environment variable, ``"auto"`` per-node resolution), the
+mixed backend's per-slice double fallback on ill-conditioned stacks,
+and the exact byte/flop cost models of the mixed sweeps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import clear_node_specs, register_node_spec
+from repro.hardware.specs import K20X, NodeSpec, _OPTERON_6274
+from repro.linalg import ledger_scope
+from repro.linalg.backend import (BackendUnavailableError, KernelBackend,
+                                  NumpyBackend, SimulatedGpuBackend,
+                                  available_backends, backend_scope,
+                                  current_backend, get_backend,
+                                  registered_backends, resolve_backend)
+from repro.linalg.batched import (adjoint_batched, gemm_batched,
+                                  lu_factor_batched, lu_solve_batched,
+                                  solve_batched, take_factor)
+from repro.linalg.flops import device_scope, gemm_flops, trsm_flops
+from repro.linalg.mixed import MixedPrecisionBackend
+from repro.perfmodel import (gemm_bytes, mixed_lu_factor_bytes,
+                             mixed_lu_solve_bytes,
+                             mixed_refinement_flop_model,
+                             mixed_rate_multiplier,
+                             sancho_rubio_byte_model)
+from repro.perfmodel.costmodel import choose_batch_solver
+from repro.utils.errors import ConfigurationError
+
+NE, N, NRHS = 4, 8, 3
+
+
+def _stack(ne=NE, n=N, seed=0):
+    """A well-conditioned complex (ne, n, n) stack (diagonally boosted)."""
+    rng = np.random.default_rng(seed)
+    a = (rng.standard_normal((ne, n, n))
+         + 1j * rng.standard_normal((ne, n, n)))
+    return a + n * np.eye(n)[None]
+
+
+def _rhs(ne=NE, n=N, nrhs=NRHS, seed=1):
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((ne, n, nrhs))
+            + 1j * rng.standard_normal((ne, n, nrhs)))
+
+
+def _reference_solution(a, b):
+    with ledger_scope():
+        with backend_scope("numpy"):
+            return solve_batched(a, b)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        names = registered_backends()
+        for name in ("numpy", "simulated-gpu", "numba", "mixed"):
+            assert name in names
+
+    def test_available_subset_of_registered(self):
+        avail = available_backends()
+        assert set(avail) <= set(registered_backends())
+        # backends with no optional dependency are always available
+        for name in ("numpy", "simulated-gpu", "mixed"):
+            assert name in avail
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown kernel"):
+            get_backend("cublas")
+
+    def test_singleton_instances(self):
+        assert get_backend("numpy") is get_backend("numpy")
+        assert get_backend("mixed") is get_backend("mixed")
+
+    def test_numba_unavailable_is_omitted_not_fatal(self):
+        try:
+            import numba  # noqa: F401
+        except ImportError:
+            with pytest.raises(BackendUnavailableError):
+                get_backend("numba")
+            assert "numba" not in available_backends()
+        else:
+            assert "numba" in available_backends()
+
+
+class TestSelection:
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert resolve_backend(None).name == "numpy"
+        assert current_backend().name == "numpy"
+
+    def test_environment_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "mixed")
+        assert resolve_backend(None).name == "mixed"
+
+    def test_instance_passthrough(self):
+        inst = MixedPrecisionBackend(tol=1e-8)
+        assert resolve_backend(inst) is inst
+
+    def test_scope_is_stacked_and_restored(self):
+        with backend_scope("mixed") as mixed:
+            assert current_backend() is mixed
+            with backend_scope("numpy") as ref:
+                assert current_backend() is ref
+            assert current_backend() is mixed
+        # outside every scope: back to the ambient resolution
+        assert current_backend() is resolve_backend(None)
+
+    def test_auto_resolves_per_node_from_hardware_registry(self):
+        try:
+            register_node_spec("node0", NodeSpec(cpu=_OPTERON_6274,
+                                                 gpu=K20X))
+            register_node_spec("node1", NodeSpec(cpu=_OPTERON_6274,
+                                                 gpu=None))
+            with device_scope("node0"):
+                assert resolve_backend("auto").name == "simulated-gpu"
+            with device_scope("node1"):
+                assert resolve_backend("auto").name == "numpy"
+            # unregistered nodes fall back to the reference backend
+            with device_scope("node99"):
+                assert resolve_backend("auto").name == "numpy"
+        finally:
+            clear_node_specs()
+
+
+@pytest.mark.parametrize("name", available_backends())
+class TestConformance:
+    """Every available backend against the reference, same inputs."""
+
+    def _tolerance_check(self, backend, got, ref):
+        if backend.capabilities.deterministic:
+            assert np.array_equal(got, ref)
+        else:
+            assert np.allclose(got, ref, rtol=1e-6, atol=1e-12)
+
+    def test_solve_batched(self, name):
+        a, b = _stack(), _rhs()
+        ref = _reference_solution(a, b)
+        with ledger_scope() as led:
+            with backend_scope(name) as bk:
+                got = solve_batched(a, b)
+        assert got.shape == ref.shape
+        assert led.total_flops > 0
+        assert led.total_bytes > 0
+        self._tolerance_check(bk, got, ref)
+
+    def test_lu_factor_then_solve(self, name):
+        a, b = _stack(seed=2), _rhs(seed=3)
+        ref = _reference_solution(a, b)
+        with ledger_scope() as led:
+            with backend_scope(name) as bk:
+                fac = lu_factor_batched(a)
+                got = lu_solve_batched(fac, b)
+        assert led.total_flops > 0
+        self._tolerance_check(bk, got, ref)
+
+    def test_take_factor_sub_batch(self, name):
+        # lock-step FEAST shrinks its active set and re-solves through
+        # a subset of an existing factor (PolynomialEVPStack.take_factor)
+        a, b = _stack(seed=7), _rhs(seed=8)
+        idx = np.array([0, 2, 3])
+        with ledger_scope():
+            with backend_scope(name) as bk:
+                fac = lu_factor_batched(a)
+                full = lu_solve_batched(fac, b)
+                sub = lu_solve_batched(take_factor(fac, idx), b[idx])
+        self._tolerance_check(bk, sub, full[idx])
+
+    def test_gemm_and_adjoint_bitwise_for_all(self, name):
+        # every built-in delegates GEMM/adjoint to the reference kernels
+        a, b = _stack(seed=4), _stack(seed=5)
+        with ledger_scope():
+            with backend_scope("numpy"):
+                ref_c = gemm_batched(a, b)
+                ref_h = adjoint_batched(a)
+            with backend_scope(name):
+                got_c = gemm_batched(a, b)
+                got_h = adjoint_batched(a)
+        assert np.array_equal(got_c, ref_c)
+        assert np.array_equal(got_h, ref_h)
+
+    def test_real_stacks_take_reference_path(self, name):
+        rng = np.random.default_rng(6)
+        a = rng.standard_normal((NE, N, N)) + N * np.eye(N)[None]
+        b = rng.standard_normal((NE, N, NRHS))
+        with ledger_scope():
+            with backend_scope("numpy"):
+                ref = solve_batched(a, b)
+            with backend_scope(name):
+                got = solve_batched(a, b)
+        assert np.array_equal(got, ref)
+
+    def test_capabilities_and_dispatch_overhead(self, name):
+        bk = get_backend(name)
+        assert isinstance(bk, KernelBackend)
+        cap = bk.capabilities
+        assert cap.name == name == bk.name
+        assert "complex128" in cap.dtypes
+        if not cap.deterministic:
+            assert cap.tolerance > 0
+        assert bk.dispatch_overhead_s() > 0
+
+
+class TestSimulatedGpu:
+    def test_bitwise_reference_and_priced(self):
+        a, b = _stack(), _rhs()
+        ref = _reference_solution(a, b)
+        gpu = SimulatedGpuBackend()
+        before_s, before_c = gpu.simulated_seconds, gpu.simulated_calls
+        with ledger_scope() as led:
+            with backend_scope(gpu):
+                got = solve_batched(a, b)
+        assert np.array_equal(got, ref)
+        assert gpu.simulated_seconds > before_s
+        assert gpu.simulated_calls == before_c + 1
+        # the ledger records are the reference ones, priced on the side
+        with ledger_scope() as ref_led:
+            with backend_scope("numpy"):
+                solve_batched(a, b)
+        assert dict(led.flops_by_kernel) == dict(ref_led.flops_by_kernel)
+        assert led.total_bytes == ref_led.total_bytes
+
+    def test_price_call_is_roofline(self):
+        gpu = SimulatedGpuBackend()
+        peak = (gpu.gpu.peak_dp_gflops * 1e9
+                * getattr(gpu.gpu, "sustained_fraction", 1.0))
+        bw = gpu.gpu.bandwidth_gb_s * 1e9
+        assert gpu.price_call(int(peak), 0) == pytest.approx(1.0)
+        assert gpu.price_call(0, int(bw)) == pytest.approx(1.0)
+        assert gpu.price_call(int(peak), int(2 * bw)) \
+            == pytest.approx(2.0)
+
+
+class TestMixedPrecision:
+    def test_residual_gate_holds_on_well_conditioned_stacks(self):
+        a, b = _stack(), _rhs()
+        bk = MixedPrecisionBackend()
+        bk.reset_stats()
+        with ledger_scope():
+            with backend_scope(bk):
+                x = solve_batched(a, b)
+        r = b - np.matmul(a, x)
+        rel = (np.linalg.norm(r.reshape(NE, -1), axis=1)
+               / np.linalg.norm(b.reshape(NE, -1), axis=1))
+        assert rel.max() <= bk.tol
+        assert bk.stats["factor_calls"] == 1
+        assert bk.stats["solve_calls"] == 1
+        assert bk.stats["refine_iterations"] >= 1  # c64 alone is ~1e-7
+        assert bk.stats["fallback_slices"] == 0
+        assert 0 < bk.stats["max_residual"] <= bk.tol
+
+    def test_low_precision_kernels_in_ledger(self):
+        a, b = _stack(), _rhs()
+        with ledger_scope() as led:
+            with backend_scope("mixed"):
+                solve_batched(a, b)
+        for kernel in ("cgetrf_batched", "cgetrs_batched",
+                       "zgemm_batched"):
+            assert led.flops_by_kernel[kernel] > 0
+        assert "zgetrf_batched" not in led.flops_by_kernel  # no fallback
+
+    def test_overflowing_slice_falls_back_per_energy(self):
+        a, b = _stack(), _rhs()
+        a[1] *= 1e200   # complex64 cast overflows -> double fallback
+        bk = MixedPrecisionBackend()
+        bk.reset_stats()
+        with ledger_scope() as led:
+            with backend_scope(bk):
+                x = solve_batched(a, b)
+        for e in range(NE):
+            assert np.allclose(x[e], np.linalg.solve(a[e], b[e]),
+                               rtol=1e-6, atol=1e-12)
+        assert bk.stats["fallback_slices"] == 1
+        assert led.flops_by_kernel["zgetrf_batched"] > 0
+        assert led.flops_by_kernel["zgetrs_batched"] > 0
+        # the healthy slices still took the low-precision path
+        assert led.flops_by_kernel["cgetrf_batched"] > 0
+
+    def test_take_factor_renumbers_fallback_bookkeeping(self):
+        # sub-batching a factor must carry the overflow flags and any
+        # cached double factors to the renumbered slice positions
+        a, b = _stack(), _rhs()
+        a[2] *= 1e200   # complex64 cast overflows on slice 2
+        bk = MixedPrecisionBackend()
+        with ledger_scope():
+            with backend_scope(bk):
+                fac = lu_factor_batched(a)
+                lu_solve_batched(fac, b)        # caches slice 2's z factor
+                idx = [1, 2]
+                sub = take_factor(fac, idx)
+                assert sub.bad_slices == {1}    # old slice 2 -> position 1
+                assert 1 in sub._zfacs          # cached z factor followed
+                zled_before = len(sub._zfacs)
+                x = lu_solve_batched(sub, b[idx])
+                assert len(sub._zfacs) == zled_before  # no refactorization
+        for j, e in enumerate(idx):
+            assert np.allclose(x[j], np.linalg.solve(a[e], b[e]),
+                               rtol=1e-6, atol=1e-12)
+
+    def test_refinement_exhaustion_falls_back(self):
+        # a tight gate no refinement can reach forces the z fallback
+        a, b = _stack(), _rhs()
+        bk = MixedPrecisionBackend(tol=1e-300, max_refine_iters=1)
+        bk.reset_stats()
+        with ledger_scope():
+            with backend_scope(bk):
+                x = solve_batched(a, b)
+        ref = _reference_solution(a, b)
+        assert np.allclose(x, ref, rtol=1e-10, atol=1e-14)
+        assert bk.stats["fallback_slices"] == NE
+
+    def test_fallback_factor_cached_across_solves(self):
+        a = _stack()
+        a[0] *= 1e200
+        bk = MixedPrecisionBackend()
+        with ledger_scope() as led:
+            with backend_scope(bk):
+                fac = lu_factor_batched(a)
+                lu_solve_batched(fac, _rhs(seed=7))
+                lu_solve_batched(fac, _rhs(seed=8))
+        # two solves, one cached double factorization of the bad slice
+        flops_per_zgetrf = led.flops_by_kernel["zgetrf_batched"]
+        from repro.linalg.flops import lu_flops
+        assert flops_per_zgetrf == lu_flops(N, True)
+
+    def test_exact_byte_and_flop_models(self):
+        # identical slices converge in lock-step, so the analytic sweep
+        # models must reproduce the ledger integer-exactly
+        one = _stack(ne=1, seed=9)[0]
+        a = np.broadcast_to(one, (NE, N, N)).copy()
+        b = _rhs()
+        b[:] = b[0]
+        bk = MixedPrecisionBackend()
+        bk.reset_stats()
+        with ledger_scope() as led:
+            with backend_scope(bk):
+                fac = lu_factor_batched(a)
+                lu_solve_batched(fac, b)
+        iters = bk.stats["refine_iterations"]
+        assert bk.stats["fallback_slices"] == 0
+        assert led.bytes_by_kernel["cgetrf_batched"] \
+            == NE * mixed_lu_factor_bytes(N)
+        solve_bytes_total = (led.bytes_by_kernel["cgetrs_batched"]
+                             + led.bytes_by_kernel["zgemm_batched"])
+        assert solve_bytes_total \
+            == NE * mixed_lu_solve_bytes(N, NRHS, refine_iters=iters)
+        solve_flops_total = (led.flops_by_kernel["cgetrs_batched"]
+                             + led.flops_by_kernel["zgemm_batched"])
+        assert solve_flops_total \
+            == NE * mixed_refinement_flop_model(N, NRHS,
+                                                refine_iters=iters)
+        # the analytic pieces the model is assembled from
+        assert mixed_lu_solve_bytes(N, NRHS, 1) \
+            == 2 * (2 * N * NRHS * 8) + 2 * gemm_bytes(N, NRHS, N)
+        assert mixed_refinement_flop_model(N, NRHS, 1) \
+            == 2 * 2 * trsm_flops(N, NRHS, True) \
+            + 2 * gemm_flops(N, NRHS, N, True)
+
+
+class TestSanchoRubioByteModel:
+    def test_model_matches_decimation_ledger_exactly(self):
+        from repro.experiments.fig6_phases import _test_lead
+        from repro.obc.selfenergy import compute_open_boundary_batch
+
+        lead = _test_lead(5, seed=1)
+        energies = [1.7, 1.9, 2.1]
+        # the byte model prices the reference recursion; pin it so an
+        # ambient mixed/numba selection doesn't change the traffic
+        with ledger_scope() as led, backend_scope("numpy"):
+            obs = compute_open_boundary_batch(lead, energies,
+                                              method="decimation")
+        n = lead.h_cells[0].shape[0]
+        predicted = sum(ob.info["predicted_bytes"] for ob in obs)
+        assert predicted == sancho_rubio_byte_model(
+            n, [ob.info["iterations"] for ob in obs])
+        assert predicted == led.total_bytes
+
+    def test_model_is_linear_in_iterations(self):
+        assert sancho_rubio_byte_model(6, 3) \
+            == 3 * sancho_rubio_byte_model(6, 1)
+        assert sancho_rubio_byte_model(6, [2, 3]) \
+            == sancho_rubio_byte_model(6, 5)
+
+
+class TestMixedPricing:
+    def test_rate_multiplier_is_amdahl_on_factor_fraction(self):
+        # default ratio 2.0, factor fraction 0.5 -> 1/(0.25+0.5)
+        assert mixed_rate_multiplier() == pytest.approx(4.0 / 3.0)
+        node = NodeSpec(cpu=_OPTERON_6274, gpu=K20X)
+        ratio = K20X.sp_gflops() / K20X.peak_dp_gflops
+        expected = 1.0 / (0.5 / ratio + 0.5)
+        assert mixed_rate_multiplier(node) == pytest.approx(expected)
+        assert mixed_rate_multiplier(node) > 1.0
+
+    def test_choose_batch_solver_prices_mixed_speedup(self):
+        # the mixed backend speeds the arithmetic of both candidates;
+        # the choice must stay valid and the costs must shrink
+        kwargs = dict(num_blocks=6, block_size=32,
+                      rhs_widths=[4, 4, 4, 4])
+        assert choose_batch_solver(**kwargs) in ("splitsolve",
+                                                 "rgf_batched")
+        assert choose_batch_solver(backend="mixed", **kwargs) \
+            in ("splitsolve", "rgf_batched")
+        from repro.hardware import TITAN
+        for machine in (None, TITAN):
+            ref = choose_batch_solver(machine=machine, **kwargs)
+            mixed = choose_batch_solver(machine=machine,
+                                        backend="mixed", **kwargs)
+            assert ref in ("splitsolve", "rgf_batched")
+            assert mixed in ("splitsolve", "rgf_batched")

@@ -36,6 +36,10 @@ from repro.utils.errors import (CheckpointError, ConfigurationError,
 
 from tests.test_hamiltonian import single_s_basis
 
+# bitwise batched-vs-per-energy parity must not be skewed by an
+# ambient kernel-backend selection (see tests/conftest.py)
+pytestmark = pytest.mark.usefixtures("reference_kernel_backend")
+
 
 def _stack(rng, ne, m, n):
     return (rng.standard_normal((ne, m, n))

@@ -37,6 +37,10 @@ from repro.utils.errors import ConfigurationError
 from tests.test_blocktridiag import make_btd
 from tests.test_solvers import make_system
 
+# bitwise batched-vs-per-energy parity must not be skewed by an
+# ambient kernel-backend selection (see tests/conftest.py)
+pytestmark = pytest.mark.usefixtures("reference_kernel_backend")
+
 
 def _cplx(rng, *shape):
     return rng.standard_normal(shape) + 1j * rng.standard_normal(shape)

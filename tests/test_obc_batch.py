@@ -37,6 +37,10 @@ from repro.utils.errors import ConfigurationError, ConvergenceError
 
 from tests.test_hamiltonian import single_s_basis
 
+# bitwise batched-vs-per-energy parity must not be skewed by an
+# ambient kernel-backend selection (see tests/conftest.py)
+pytestmark = pytest.mark.usefixtures("reference_kernel_backend")
+
 ENERGIES = [1.7, 1.9, 2.0, 2.1, 2.3]
 
 

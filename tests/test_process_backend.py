@@ -29,6 +29,10 @@ from repro.structure import linear_chain
 from repro.utils.errors import ConfigurationError, TaskExecutionError
 from tests.test_hamiltonian import single_s_basis
 
+# bitwise batched-vs-per-energy parity must not be skewed by an
+# ambient kernel-backend selection (see tests/conftest.py)
+pytestmark = pytest.mark.usefixtures("reference_kernel_backend")
+
 ENERGIES = [-0.55, -0.45, -0.35, -0.25]
 
 
@@ -46,6 +50,33 @@ def _square(x):
 
 def _boom():
     raise ValueError("injected worker-side failure")
+
+
+def _flaky_square(x, sentinel):
+    """Fails on the first call per sentinel path, succeeds after.
+
+    The failing attempt burns real gemm flops first, so the tests can
+    assert that wasted work never reaches the merged ledger.
+    """
+    import os
+
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as fh:
+            fh.write("first attempt")
+        _square(x)  # flops that must NOT reach the merged ledger
+        raise RuntimeError("transient injected failure")
+    return _square(x)
+
+
+def _descriptor_task(fn, *args):
+    """A task closure carrying its picklable TaskDescriptor twin."""
+    desc = TaskDescriptor(fn=fn, args=args)
+
+    def task():
+        return desc.run()
+
+    task.descriptor = desc
+    return task
 
 
 @pytest.fixture(scope="module")
@@ -146,7 +177,112 @@ class TestDescriptors:
                 runner([_boom])
 
 
-class TestElasticScheduling:
+class TestWorkerSideRetries:
+    """ResilientTaskRunner composed over the process backend: the
+    guarded tasks ship a picklable ``_retry_run`` descriptor, so the
+    retry loop executes inside the worker with the same policy."""
+
+    def test_guarded_task_descriptor_is_picklable(self):
+        import pickle
+
+        from repro.runtime import ResilientTaskRunner
+        from repro.runtime.resilience import _retry_run
+
+        runner = ResilientTaskRunner(ThreadTaskRunner(1), max_retries=2,
+                                     backoff_s=0.1, timeout_s=30.0)
+        try:
+            guarded = runner._make_resilient(3, _descriptor_task(
+                _square, 2.0))
+            desc = descriptor_of(guarded)
+            assert desc.fn is _retry_run
+            policy, inner = desc.args
+            assert policy.max_retries == 2
+            assert policy.backoff_s == 0.1
+            assert policy.timeout_s == 30.0
+            assert policy.task_index == 3
+            assert inner.fn is _square
+            clone = pickle.loads(pickle.dumps(desc))
+            assert clone.run() == _square(2.0)
+        finally:
+            runner.close()
+
+    def test_bare_closure_gets_no_descriptor(self):
+        from repro.runtime import ResilientTaskRunner
+
+        runner = ResilientTaskRunner(max_retries=1)
+        guarded = runner._make_resilient(0, lambda: 1)
+        assert getattr(guarded, "descriptor", None) is None
+
+    def test_transient_worker_failure_retried_worker_side(self, tmp_path):
+        from repro.runtime import ResilientTaskRunner
+
+        sentinel = str(tmp_path / "flaky.sentinel")
+        runner = ResilientTaskRunner(ProcessTaskRunner(num_workers=1),
+                                     max_retries=1)
+        try:
+            out = runner([_descriptor_task(_flaky_square, 3.0, sentinel)])
+        finally:
+            runner.close()
+        assert out == [_square(3.0)]
+        # one submission; the retry happened inside the worker process
+        assert runner.telemetry.tasks_submitted == 1
+
+    def test_retry_accounting_and_ledger_merge_home_when_traced(
+            self, tmp_path):
+        from repro.runtime import ResilientTaskRunner
+
+        with ledger_scope() as ref:
+            _square(5.0)
+        expected = ref.total_flops
+        assert expected > 0
+
+        sentinel = str(tmp_path / "flaky2.sentinel")
+        runner = ResilientTaskRunner(ProcessTaskRunner(num_workers=1),
+                                     max_retries=1)
+        tracer = SpanTracer()
+        try:
+            with tracing(tracer):
+                with ledger_scope() as led:
+                    out = runner([_descriptor_task(
+                        _flaky_square, 5.0, sentinel)])
+        finally:
+            runner.close()
+        assert out == [_square(5.0)]
+        tel = runner.telemetry  # shared with the wrapped process runner
+        assert tel.retries == 1
+        assert tel.attempts == 2  # parent submission + worker retry
+        assert tel.failures_by_type.get("RuntimeError") == 1
+        assert tel.giveups == 0
+        # the failed attempt's flops are wasted, not merged: the home
+        # ledger holds exactly one successful _square worth of flops
+        assert led.total_flops == expected
+        assert tel.wasted_flops == expected
+
+    def test_worker_side_giveup_reports_task_error(self, tmp_path):
+        from repro.runtime import ResilientTaskRunner
+
+        runner = ResilientTaskRunner(ProcessTaskRunner(num_workers=1),
+                                     max_retries=1)
+        try:
+            with pytest.raises(TaskExecutionError,
+                               match="injected worker-side failure"):
+                runner([_descriptor_task(_boom)])
+        finally:
+            runner.close()
+
+    def test_configuration_error_never_retried_worker_side(self):
+        from repro.runtime.resilience import RetryPolicy, _retry_run
+
+        calls = []
+
+        class CountingDescriptor:
+            def run(self):
+                calls.append(1)
+                raise ConfigurationError("bad setup")
+
+        with pytest.raises(ConfigurationError):
+            _retry_run(RetryPolicy(max_retries=3), CountingDescriptor())
+        assert len(calls) == 1
     def test_slow_worker_gets_fewer_units(self):
         runner = ProcessTaskRunner(2)
         # node1 measured 4x slower than node0
