@@ -1,0 +1,166 @@
+"""Persistent result-store benchmark: warm-run speedup + bitwise parity.
+
+Runs the same (k, E) spectrum twice against one content-addressed
+:class:`repro.cache.ResultStore` — a cold pass that publishes every
+solved point and a warm pass that merges them back — and measures what
+the persistent-cache work claims:
+
+* **bitwise parity** — the warm run's transmission must reproduce the
+  cold run exactly (deviation 0.0, gated);
+* **hit completeness** — the warm probe must hit every point (miss rate
+  0.0, gated; this encodes the >= 95% warm-hit acceptance criterion at
+  the round-off floor);
+* **zero re-solve work** — the warm pass performs no solves, so its
+  ledger flop count must be exactly 0 (``flops_warm``, gated bitwise);
+* **speedup** — loading + merging records must beat re-solving
+  (``speedup_warm``, gated against the committed baseline).
+
+Writes ``BENCH_cache.json`` at the repo root for
+``benchmarks/check_regression.py``.
+
+Run standalone (``python benchmarks/bench_cache.py [--smoke]``) or
+through pytest (``pytest benchmarks/bench_cache.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.basis import tight_binding_set
+from repro.cache import ResultStore
+from repro.core.energygrid import lead_band_structure
+from repro.core.runner import compute_spectrum
+from repro.hamiltonian import build_device
+from repro.linalg import ledger_scope
+from repro.observability.spans import SpanTracer, tracing
+from repro.structure import silicon_nanowire
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_cache.json"
+
+
+def _probe_stats(spans) -> dict:
+    for sp in spans:
+        if sp.name == "result-store-probe":
+            return dict(sp.attrs)
+    return {"hits": 0, "misses": 0, "hit_rate": 0.0}
+
+
+def run(length_cells: int = 4, num_energies: int = 32,
+        batch_size: int = 8) -> dict:
+    wire = silicon_nanowire(diameter_nm=1.0, length_cells=length_cells)
+    basis = tight_binding_set()
+    lead = build_device(wire, basis, num_cells=length_cells).lead
+    _, bands = lead_band_structure(lead, 11)
+    e_lo = float(bands.min())
+    energies = np.linspace(e_lo + 0.1, e_lo + 1.0, num_energies)
+
+    kwargs = dict(obc_method="dense", solver="rgf",
+                  energy_batch_size=batch_size)
+    root = tempfile.mkdtemp(prefix="bench-cache-")
+    try:
+        t0 = time.perf_counter()
+        with ledger_scope() as led_cold:
+            cold = compute_spectrum(wire, basis, length_cells, energies,
+                                    result_store=root, **kwargs)
+        sec_cold = time.perf_counter() - t0
+
+        tracer = SpanTracer()
+        t0 = time.perf_counter()
+        with tracing(tracer):
+            with ledger_scope() as led_warm:
+                warm = compute_spectrum(wire, basis, length_cells,
+                                        energies, result_store=root,
+                                        **kwargs)
+        sec_warm = time.perf_counter() - t0
+
+        probe = _probe_stats(tracer.records())
+        stats = ResultStore(root).stats()
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    max_dt = float(np.max(np.abs(cold.transmission - warm.transmission)))
+    total = probe["hits"] + probe["misses"]
+    miss_rate = probe["misses"] / total if total else 1.0
+
+    return {
+        "device": {"diameter_nm": 1.0, "length_cells": length_cells},
+        "num_energies": num_energies,
+        "energy_batch_size": batch_size,
+        "seconds_cold": sec_cold,
+        "seconds_warm": sec_warm,
+        "speedup_warm": sec_cold / sec_warm,
+        "flops_cold": int(led_cold.total_flops),
+        "flops_warm": int(led_warm.total_flops),
+        "warm_hits": int(probe["hits"]),
+        "warm_hit_rate": float(probe["hit_rate"]),
+        "warm_miss_rate_deviation": float(miss_rate),
+        "max_warm_transmission_deviation": max_dt,
+        "store_objects": int(stats["objects"]),
+        "store_bytes": int(stats["total_bytes"]),
+    }
+
+
+def report(results: dict) -> str:
+    d = results["device"]
+    return "\n".join([
+        "Persistent result-store benchmark",
+        f"  device: {d['diameter_nm']:.1f} nm wire x "
+        f"{d['length_cells']} cells, {results['num_energies']} energies, "
+        f"batch size {results['energy_batch_size']}",
+        f"  cold : {results['seconds_cold'] * 1e3:9.2f} ms, "
+        f"{results['flops_cold']:,d} flop, "
+        f"{results['store_objects']} records published "
+        f"({results['store_bytes'] / 1e6:.2f} MB)",
+        f"  warm : {results['seconds_warm'] * 1e3:9.2f} ms, "
+        f"{results['flops_warm']:,d} flop, "
+        f"{results['warm_hits']} hits "
+        f"(hit rate {results['warm_hit_rate']:.1%})",
+        f"  speedup : {results['speedup_warm']:.2f}x",
+        f"  max |dT|: {results['max_warm_transmission_deviation']:.3e} "
+        f"(must be exactly 0)",
+    ])
+
+
+def write_json(results: dict, path: Path = JSON_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_cache(reportout):
+    """Smoke-scale run asserting the acceptance invariants."""
+    results = run(length_cells=4, num_energies=12, batch_size=4)
+    assert results["max_warm_transmission_deviation"] == 0.0
+    assert results["warm_miss_rate_deviation"] == 0.0
+    assert results["warm_hit_rate"] >= 0.95
+    assert results["flops_warm"] == 0
+    assert results["store_objects"] == results["num_energies"]
+    assert results["speedup_warm"] > 1.0
+    reportout(report(results))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="small configuration for CI (seconds, not minutes)")
+    ap.add_argument("--out", type=Path, default=JSON_PATH,
+                    help=f"output JSON path (default {JSON_PATH})")
+    args = ap.parse_args(argv)
+    if args.smoke:
+        results = run(length_cells=4, num_energies=12, batch_size=4)
+    else:
+        results = run()
+    print(report(results))
+    path = write_json(results, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -6,8 +6,12 @@ Usage::
     python -m repro run fig5
     python -m repro run all
     python -m repro trace --out trace.json --jsonl spans.jsonl
+    python -m repro trace --smoke --result-store .repro-cache
     python -m repro report spans.jsonl
     python -m repro report --checkpoint sweep.npz
+    python -m repro cache stats .repro-cache
+    python -m repro cache verify .repro-cache
+    python -m repro cache prune .repro-cache --max-bytes 100000000
 """
 
 from __future__ import annotations
@@ -55,6 +59,12 @@ def main(argv=None) -> int:
                              "simulated-gpu, numba, or auto (per-node "
                              "resolution); default: REPRO_KERNEL_BACKEND "
                              "env var, else numpy")
+    tracep.add_argument("--result-store", default=None,
+                        help="persistent result-store root directory: "
+                             "publish every solved (k, E) point and "
+                             "merge prior runs' results back "
+                             "bitwise-identically (warm re-runs skip "
+                             "the solves)")
 
     reportp = sub.add_parser(
         "report", help="re-derive the phase/activity reports from a span "
@@ -68,12 +78,24 @@ def main(argv=None) -> int:
                          help="add the memory-movement view: arena reuse "
                               "rates and predicted-vs-measured byte "
                               "drift per stage")
+
+    cachep = sub.add_parser(
+        "cache", help="inspect or maintain a persistent result store")
+    cachep.add_argument("action", choices=("stats", "verify", "prune"),
+                        help="stats: object/byte counts; verify: "
+                             "checksum every record; prune: LRU-evict "
+                             "down to --max-bytes")
+    cachep.add_argument("root", help="result-store root directory")
+    cachep.add_argument("--max-bytes", type=int, default=None,
+                        help="byte budget for prune")
     args = parser.parse_args(argv)
 
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "report":
         return _cmd_report(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
 
     from repro.experiments import ALL_EXPERIMENTS
 
@@ -109,7 +131,8 @@ def _cmd_trace(args) -> int:
                                   trace_path=args.out,
                                   jsonl_path=args.jsonl,
                                   backend=args.backend,
-                                  kernel_backend=args.kernel_backend)
+                                  kernel_backend=args.kernel_backend,
+                                  result_store=args.result_store)
     elapsed = time.perf_counter() - t0
 
     print(f"backend: {args.backend} ({args.nodes} workers)")
@@ -119,10 +142,18 @@ def _cmd_trace(args) -> int:
     print()
     print(phase_report(demo["totals"]))
     print()
-    print(activity_report(node_activity(demo["spans"])))
-    print()
-    print(roofline_report(demo["roofline"], device_name="Titan K20X"))
-    print()
+    # A fully warm result-store run emits no stage spans and no flops:
+    # there is no activity table and no roofline to print.
+    if any(sp.category == "stage" for sp in demo["spans"]):
+        print(activity_report(node_activity(demo["spans"])))
+        print()
+    if demo["roofline"]:
+        print(roofline_report(demo["roofline"], device_name="Titan K20X"))
+        print()
+    if args.result_store:
+        from repro.observability import cache_report
+        print(cache_report(demo["spans"]))
+        print()
     print("run telemetry:")
     print(demo["telemetry"].summary())
     print()
@@ -179,7 +210,8 @@ def _cmd_report(args) -> int:
         print("need a span JSONL file or --checkpoint",
               file=sys.stderr)
         return 2
-    from repro.observability import (activity_report, memory_report,
+    from repro.observability import (activity_report, cache_report,
+                                     cache_totals, memory_report,
                                      node_activity, phase_report,
                                      phase_totals, read_spans_jsonl)
     spans = read_spans_jsonl(args.spans)
@@ -190,9 +222,40 @@ def _cmd_report(args) -> int:
     print(phase_report(phase_totals(spans)))
     print()
     print(activity_report(node_activity(spans)))
+    if cache_totals(spans)["probes"]:
+        print()
+        print(cache_report(spans))
     if args.memory:
         print()
         print(memory_report(spans))
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.cache import ResultStore
+    store = ResultStore(args.root)
+    if args.action == "stats":
+        s = store.stats()
+        print(f"result store at {s['root']}")
+        print(f"  {s['objects']} objects, "
+              f"{s['total_bytes'] / 1e6:.2f} MB")
+        if s["calibrations"]:
+            print("  calibrations: " + ", ".join(s["calibrations"]))
+        return 0
+    if args.action == "verify":
+        v = store.verify()
+        print(f"checked {v['checked']} objects, "
+              f"{len(v['corrupt'])} corrupt")
+        for key in v["corrupt"]:
+            print(f"  corrupt: {key}")
+        return 0 if not v["corrupt"] else 1
+    if args.max_bytes is None:
+        print("prune needs --max-bytes", file=sys.stderr)
+        return 2
+    r = store.prune(args.max_bytes)
+    print(f"removed {r['removed']} objects, "
+          f"freed {r['freed_bytes'] / 1e6:.2f} MB "
+          f"({r['total_bytes'] / 1e6:.2f} MB remain)")
     return 0
 
 

@@ -66,7 +66,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                    checkpoint=None, backend: str | None = None,
                    num_workers: int | None = None,
                    use_arena: bool = False,
-                   kernel_backend: str | None = None) -> ProductionResult:
+                   kernel_backend: str | None = None,
+                   result_store=None) -> ProductionResult:
     """Run the full multi-bias production simulation.
 
     Parameters
@@ -109,6 +110,11 @@ def run_production(structure, basis, num_cells: int, bias_points,
         (bitwise reference, default), ``"mixed"``, ``"simulated-gpu"``,
         ``"numba"``, or ``"auto"`` for per-worker resolution against
         the registered node specs.
+    result_store : path or :class:`repro.cache.ResultStore`, optional
+        Persistent cross-run result cache, forwarded to every transport
+        solve of the sweep (the SCF inner solves and the final spectrum
+        per bias point).  A re-run of the same sweep merges cached
+        (k, E) results bitwise-identically instead of re-solving them.
 
     Notes
     -----
@@ -158,7 +164,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                     task_runner=task_runner,
                     energy_batch_size=energy_batch_size,
                     use_arena=use_arena,
-                    kernel_backend=kernel_backend, **kwargs)
+                    kernel_backend=kernel_backend,
+                    result_store=result_store, **kwargs)
                 spec = compute_spectrum(structure, basis, num_cells,
                                         energies,
                                         num_k=num_k, obc_method="dense",
@@ -167,7 +174,8 @@ def run_production(structure, basis, num_cells: int, bias_points,
                                         task_runner=task_runner,
                                         energy_batch_size=energy_batch_size,
                                         use_arena=use_arena,
-                                        kernel_backend=kernel_backend)
+                                        kernel_backend=kernel_backend,
+                                        result_store=result_store)
                 current = spec.current(mu_source, mu_source - vds,
                                        temperature_k)
             points.append(BiasPoint(vds=vds, current=current,

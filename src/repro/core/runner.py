@@ -9,6 +9,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.cache import (ResultStore, as_result_store,
+                         backend_cache_identity, device_content_hash,
+                         pack_result, result_key, unpack_result)
 from repro.constants import LANDAUER_2E_OVER_H
 from repro.hamiltonian import build_device, transverse_k_grid
 from repro.negf.density import fermi
@@ -90,6 +93,16 @@ class SpectrumUnitSpec:
     #: the :mod:`repro.hardware` node-spec registry — heterogeneous
     #: machines pick per-node backends
     kernel_backend: str | None = None
+    #: warm-start the batched OBC stage (mirrors the parent pipeline)
+    obc_warm_start: bool = False
+    #: persistent result-store root; workers publish their fresh solves
+    #: directly (concurrent, atomic), so a crash mid-run loses nothing
+    #: already solved
+    store_root: str | None = None
+    #: result-store keys aligned one-to-one with ``energies``
+    store_keys: tuple | None = None
+    #: cached near-neighbour FEAST subspace seeding a warm-started unit
+    obc_subspace_guess: object = None
 
 
 #: per-process device/pipeline cache of :func:`_solve_unit`, keyed
@@ -111,12 +124,17 @@ def _solve_unit(spec: SpectrumUnitSpec):
     """
     kernel_backend = getattr(spec, "kernel_backend", None)
     key = (spec.run_token, spec.kpoint_index, kernel_backend)
+    tracer = current_tracer()
     entry = _WORKER_CACHE.get(key)
     if entry is None:
+        if tracer is not None:
+            tracer.metrics.counter("worker_cache_misses").inc()
         pipe = TransportPipeline(obc_method=spec.obc_method,
                                  solver=spec.solver,
                                  num_partitions=spec.num_partitions,
                                  obc_kwargs=spec.obc_kwargs,
+                                 obc_warm_start=getattr(
+                                     spec, "obc_warm_start", False),
                                  use_arena=spec.use_arena,
                                  backend=kernel_backend)
         dev = build_device(spec.structure, spec.basis, spec.num_cells,
@@ -127,12 +145,27 @@ def _solve_unit(spec: SpectrumUnitSpec):
         entry = (pipe, pipe.cache(dev))
         while len(_WORKER_CACHE) >= _WORKER_CACHE_MAX:
             _WORKER_CACHE.pop(next(iter(_WORKER_CACHE)))
+            if tracer is not None:
+                tracer.metrics.counter("worker_cache_evictions").inc()
         _WORKER_CACHE[key] = entry
+    else:
+        if tracer is not None:
+            tracer.metrics.counter("worker_cache_hits").inc()
     pipe, cache = entry
-    return pipe.solve_batch(cache,
-                            np.asarray(spec.energies, dtype=float),
-                            kpoint_index=spec.kpoint_index,
-                            energy_indices=list(spec.energy_indices))
+    outputs = pipe.solve_batch(
+        cache, np.asarray(spec.energies, dtype=float),
+        kpoint_index=spec.kpoint_index,
+        energy_indices=list(spec.energy_indices),
+        obc_subspace_guess=getattr(spec, "obc_subspace_guess", None))
+    root = getattr(spec, "store_root", None)
+    keys = getattr(spec, "store_keys", None)
+    if root is not None and keys is not None:
+        # publish worker-side so concurrent processes fill the store as
+        # they go; the parent's own put() is an idempotent no-op then
+        rstore = ResultStore(root)
+        for k, res in zip(keys, outputs):
+            rstore.put(k, pack_result(res))
+    return outputs
 
 
 def compute_spectrum(structure, basis, num_cells: int, energies,
@@ -143,7 +176,9 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                      checkpoint=None, backend: str | None = None,
                      num_workers: int | None = None,
                      use_arena: bool = False,
-                     kernel_backend: str | None = None) -> TransportSpectrum:
+                     kernel_backend: str | None = None,
+                     result_store=None,
+                     obc_warm_start: bool = False) -> TransportSpectrum:
     """Run the full (k, E) transport loop on a structure.
 
     Parameters
@@ -207,6 +242,24 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         runs GPU-priced kernels only on GPU-carrying nodes.  ``None``
         (default) defers to the ``REPRO_KERNEL_BACKEND`` environment
         variable, then the bitwise-reference ``"numpy"`` backend.
+    result_store : path or :class:`repro.cache.ResultStore`, optional
+        Persistent cross-run result cache.  Before scheduling, every
+        (k, E-batch) unit is partitioned into hits and misses against
+        the store (content-addressed keys over device matrices,
+        potential, OBC method + kwargs, solver, kernel-backend identity,
+        k, E); only the misses are solved (partially-hit units re-bucket
+        to their miss energies — bitwise-safe, the batch path equals the
+        per-energy path bit for bit), hits merge back bitwise-identically
+        from disk, and fresh solves are published (workers publish
+        concurrently under ``backend="process"``).  Cache traffic is
+        observable: ``result_store_*`` counters, a bytes-loaded
+        histogram, and ``category="cache"`` span instants.
+    obc_warm_start : bool
+        Warm-start the batched OBC stage (FEAST seeded
+        energy-to-energy; round-off-level deviations from the default
+        lock-step mode).  With a ``result_store``, a partially-hit
+        unit's sweep is additionally seeded with the cached subspace of
+        the hit nearest its first miss.
 
     Notes
     -----
@@ -239,6 +292,7 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
     pipe = TransportPipeline(obc_method=obc_method, solver=solver,
                              num_partitions=num_partitions,
                              obc_kwargs=obc_kwargs, use_arena=use_arena,
+                             obc_warm_start=obc_warm_start,
                              backend=kernel_backend)
     caches = []
     for kz, _w in kgrid:
@@ -248,8 +302,9 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         caches.append(pipe.cache(dev))
 
     store = as_store(checkpoint)
+    rstore = as_result_store(result_store)
     if batch is None:
-        batch = _auto_batch_size(pipe, caches[0], energies, store)
+        batch = _auto_batch_size(pipe, caches[0], energies, store, rstore)
 
     # The work units: one per (k, E-batch); batch == 1 reproduces the
     # historical one-task-per-point granularity exactly.
@@ -280,29 +335,91 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
         # so the returned telemetry covers the whole job, not the tail
         telemetry.restore(store.last_telemetry)
 
+    # Partition every pending unit into store hits and misses *before*
+    # scheduling: fully-hit units never become tasks, partially-hit
+    # units re-bucket to their miss energies (bitwise-safe — the batch
+    # path equals the per-energy path bit for bit), and hit records
+    # merge back from disk below.
+    unit_hits: dict = {}   # ui -> {ie: stored record}
+    unit_keys: dict = {}   # ui -> {ie: store key}
+    if rstore is not None:
+        backend_id = backend_cache_identity(kernel_backend)
+        dev_hashes: dict = {}
+        for ui, (ik, ies) in enumerate(units):
+            if done[ui]:
+                continue
+            dh = dev_hashes.get(ik)
+            if dh is None:
+                dh = dev_hashes[ik] = device_content_hash(
+                    caches[ik].device)
+            keys, hits = {}, {}
+            for ie in ies:
+                key = result_key(
+                    dh, obc_method=obc_method, obc_kwargs=obc_kwargs,
+                    solver=solver, num_partitions=num_partitions,
+                    backend_identity=backend_id,
+                    kz=float(kgrid[ik, 0]), energy=float(energies[ie]))
+                keys[ie] = key
+                rec = rstore.get(key)
+                if rec is not None:
+                    hits[ie] = rec
+            unit_keys[ui] = keys
+            unit_hits[ui] = hits
+        if tracer is not None:
+            nprobe = sum(len(k) for k in unit_keys.values())
+            nhit = sum(len(h) for h in unit_hits.values())
+            tracer.instant(
+                "result-store-probe", category="cache",
+                attrs={"hits": nhit, "misses": nprobe - nhit,
+                       "hit_rate": nhit / nprobe if nprobe else 0.0})
+
     token = f"{os.getpid()}:{next(_RUN_TOKENS)}"
     tasks = []
+    miss_by_ui: dict = {}
     for ui, (ik, ies) in enumerate(units):
         if done[ui]:
             continue
+        hits = unit_hits.get(ui, {})
+        miss = [ie for ie in ies if ie not in hits]
+        miss_by_ui[ui] = miss
+        if not miss:
+            continue   # fully cached: merged below without a task
+        keys = unit_keys.get(ui)
+        guess = _nearest_subspace(hits, miss[0]) if obc_warm_start \
+            else None
         spec = SpectrumUnitSpec(
             structure=structure, basis=basis, num_cells=num_cells,
             kz=float(kgrid[ik, 0]), potential=potential,
             obc_method=obc_method, solver=solver,
             num_partitions=num_partitions, obc_kwargs=obc_kwargs,
-            energies=tuple(float(e) for e in energies[ies]),
-            kpoint_index=ik, energy_indices=tuple(int(e) for e in ies),
+            energies=tuple(float(e) for e in energies[miss]),
+            kpoint_index=ik, energy_indices=tuple(int(e) for e in miss),
             run_token=token, use_arena=use_arena,
-            kernel_backend=kernel_backend)
+            kernel_backend=kernel_backend,
+            obc_warm_start=obc_warm_start,
+            store_root=rstore.root if rstore is not None else None,
+            store_keys=tuple(keys[ie] for ie in miss) if keys else None,
+            obc_subspace_guess=guess)
         tasks.append((ui, _make_task(pipe, caches[ik],
-                                     energies[ies], ik, ies, spec)))
+                                     energies[miss], ik, miss, spec,
+                                     guess)))
 
     results = []
     traces = []
     try:
         if task_runner is None:
-            for ui, task in tasks:
-                _absorb_unit(units[ui], task(), trans, counts, results,
+            task_by_ui = dict(tasks)
+            for ui, (ik, ies) in enumerate(units):
+                if done[ui]:
+                    continue
+                task = task_by_ui.get(ui)
+                out = task() if task is not None else []
+                _publish_unit(rstore, unit_keys.get(ui),
+                              miss_by_ui.get(ui, []), out)
+                merged = _merge_unit_results(
+                    units[ui], miss_by_ui.get(ui, []), out,
+                    unit_hits.get(ui, {}))
+                _absorb_unit(units[ui], merged, trans, counts, results,
                              traces, None)
                 done[ui] = True
                 if store is not None:
@@ -319,11 +436,23 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                     exc.kpoint_index = ik
                     exc.energy_index = ies[0]
                 raise
-            for (ui, _), out in zip(tasks, outputs):
-                _absorb_unit(units[ui], out, trans, counts, results,
+            out_by_ui = {ui: out
+                         for (ui, _), out in zip(tasks, outputs)}
+            newly_done = False
+            for ui, (ik, ies) in enumerate(units):
+                if done[ui]:
+                    continue
+                out = out_by_ui.get(ui, [])
+                _publish_unit(rstore, unit_keys.get(ui),
+                              miss_by_ui.get(ui, []), out)
+                merged = _merge_unit_results(
+                    units[ui], miss_by_ui.get(ui, []), out,
+                    unit_hits.get(ui, {}))
+                _absorb_unit(units[ui], merged, trans, counts, results,
                              traces, telemetry)
                 done[ui] = True
-            if store is not None and tasks:
+                newly_done = True
+            if store is not None and newly_done:
                 _save_spectrum(store, energies, kgrid, batch, done,
                                trans, counts, telemetry)
     finally:
@@ -336,7 +465,7 @@ def compute_spectrum(structure, basis, num_cells: int, energies,
                              telemetry=telemetry)
 
 
-def _auto_batch_size(pipe, cache, energies, store) -> int:
+def _auto_batch_size(pipe, cache, energies, store, rstore=None) -> int:
     """Resolve ``energy_batch_size="auto"`` for one spectrum run.
 
     Resuming from a checkpoint pins the batch size to the stored unit
@@ -345,26 +474,96 @@ def _auto_batch_size(pipe, cache, energies, store) -> int:
     is solved once as a probe — its OBC/A(E) products stay memoized in
     the cache, so the real unit covering it pays almost nothing — and the
     batch size balances that measured per-energy cost against the
-    measured per-call dispatch overhead
+    per-call dispatch overhead
     (:func:`~repro.perfmodel.costmodel.suggest_energy_batch_size`),
-    clamped to the energy-grid length.
+    clamped to the energy-grid length.  The dispatch overhead is a
+    machine property, not a run property: with a ``result_store`` it is
+    measured once per (backend, node) and persisted in the store's
+    calibration area (:func:`_dispatch_overhead`).
     """
     if store is not None and store.exists():
         return max(1, int(store.load("spectrum")["energy_batch_size"]))
-    from repro.perfmodel.costmodel import (measure_dispatch_overhead,
-                                           suggest_energy_batch_size)
+    from repro.perfmodel.costmodel import suggest_energy_batch_size
     t0 = time.perf_counter()
     pipe.solve_point(cache, float(energies[0]))
     per_energy = max(time.perf_counter() - t0, 1e-9)
     batch = suggest_energy_batch_size(per_energy,
-                                      measure_dispatch_overhead())
+                                      _dispatch_overhead(pipe, rstore))
     return int(min(batch, energies.size))
 
 
-def _make_task(pipe, cache, unit_energies, ik, ies, spec=None):
+def _dispatch_overhead(pipe, rstore) -> float:
+    """Per-call dispatch overhead, persisted per (backend, node).
+
+    Without a result store this measures every run (the historical
+    behaviour).  With one, the first run on a given (kernel backend,
+    node) measures and saves; later runs reuse the stored seconds — one
+    less warm-up cost per run, and ``"auto"`` batch sizing becomes
+    reproducible across runs on the same machine.
+    """
+    import platform
+
+    from repro.linalg.backend import resolve_backend
+    from repro.perfmodel.costmodel import measure_dispatch_overhead
+    if rstore is None:
+        return measure_dispatch_overhead()
+    backend_name = resolve_backend(pipe.backend).name
+    node = platform.node() or "unknown"
+    name = f"dispatch-{backend_name}-{node}"
+    tracer = current_tracer()
+    data = rstore.load_calibration(name)
+    if data is not None and "dispatch_overhead_s" in data:
+        if tracer is not None:
+            tracer.metrics.counter("dispatch_calibration_hits").inc()
+        return float(data["dispatch_overhead_s"])
+    value = float(measure_dispatch_overhead())
+    rstore.save_calibration(name, {"dispatch_overhead_s": value,
+                                   "backend": backend_name,
+                                   "node": node})
+    if tracer is not None:
+        tracer.metrics.counter("dispatch_calibration_misses").inc()
+    return value
+
+
+def _nearest_subspace(hits: dict, ie0: int):
+    """Cached FEAST subspace of the hit nearest energy index ``ie0``."""
+    best, best_dist = None, None
+    for ie, rec in hits.items():
+        sub = rec.get("feast_subspace")
+        if sub is None:
+            continue
+        dist = abs(int(ie) - int(ie0))
+        if best_dist is None or dist < best_dist:
+            best, best_dist = sub, dist
+    return None if best is None else np.asarray(best)
+
+
+def _publish_unit(rstore, keys, miss, outputs) -> None:
+    """Publish one unit's fresh solves to the result store (idempotent)."""
+    if rstore is None or keys is None or not miss:
+        return
+    for ie, res in zip(miss, outputs):
+        rstore.put(keys[ie], pack_result(res))
+
+
+def _merge_unit_results(unit, miss, outputs, hits) -> list:
+    """Interleave fresh solves and cached hits back into unit order."""
+    fresh = dict(zip(miss, outputs))
+    merged = []
+    for ie in unit[1]:
+        if ie in fresh:
+            merged.append(fresh[ie])
+        else:
+            merged.append(unpack_result(hits[ie]))
+    return merged
+
+
+def _make_task(pipe, cache, unit_energies, ik, ies, spec=None,
+               obc_subspace_guess=None):
     def task():
         return pipe.solve_batch(cache, unit_energies, kpoint_index=ik,
-                                energy_indices=ies)
+                                energy_indices=ies,
+                                obc_subspace_guess=obc_subspace_guess)
     if spec is not None:
         # the picklable twin of the closure: serial/thread runners call
         # the closure, the process backend ships the descriptor
@@ -374,12 +573,20 @@ def _make_task(pipe, cache, unit_energies, ik, ies, spec=None):
 
 def _absorb_unit(unit, outputs, trans, counts, results, traces,
                  telemetry) -> None:
-    """Fold one completed (k, E-batch) unit into the spectrum arrays."""
+    """Fold one completed (k, E-batch) unit into the spectrum arrays.
+
+    Cache hits arrive with ``trace=None`` (nothing was solved); they
+    contribute to the transmission/mode-count arrays and ``results`` but
+    add no task trace — ledger/span/telemetry reconciliation therefore
+    sees exactly the freshly solved work, with hits at zero flops.
+    """
     ik, ies = unit
     for ie, res in zip(ies, outputs):
         trans[ik, ie] = res.transmission_lr
         counts[ik, ie] = res.num_prop_left
         results.append(res)
+        if res.trace is None:
+            continue
         traces.append(res.trace)
         if telemetry is not None and hasattr(telemetry,
                                              "record_task_trace"):

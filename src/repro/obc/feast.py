@@ -61,6 +61,13 @@ class FeastResult:
     subspace: np.ndarray | None = None
     #: whether this solve was seeded from a neighbouring energy's subspace
     warm_started: bool = False
+    #: rhs width of the resolvent applies, one entry per refinement
+    #: iteration (accumulated across auto-expand attempts) — together with
+    #: ``num_solves`` and ``rr_sizes`` this determines the exact ledger
+    #: byte traffic via :func:`repro.perfmodel.bytemodel.feast_byte_model`
+    solve_widths: tuple = ()
+    #: reduced Rayleigh-Ritz problem size, one entry per iteration
+    rr_sizes: tuple = ()
 
     @property
     def num_modes(self) -> int:
@@ -147,12 +154,19 @@ def feast_annulus(pevp, r_outer: float = 3.0, subspace: int | None = None,
 
     a_lin, b_lin = pevp.pencil()
 
+    # Byte-model logs: one rhs width / RR size per refinement iteration,
+    # accumulated across auto-expand attempts (the contour factorizations
+    # are NOT redone on expand, so only the iteration terms grow).
+    width_log: list = []
+    rr_log: list = []
+
     while True:
         y, used_guess = _seed_subspace(rng, nbc, m0, guess)
         guess = None   # a failed warm attempt falls back to cold redraws
         try:
             result = _feast_iterate(pevp, a_lin, b_lin, factors, y,
-                                    r_outer, max_iter, tol)
+                                    r_outer, max_iter, tol,
+                                    width_log, rr_log)
         except ConvergenceError:
             # A stall usually means the subspace is smaller than the
             # annulus eigenvalue count; grow it before giving up.
@@ -170,7 +184,9 @@ def feast_annulus(pevp, r_outer: float = 3.0, subspace: int | None = None,
                            residuals=residuals, iterations=iters,
                            num_solves=num_solves,
                            subspace_size=m0, subspace=ritz_in,
-                           warm_started=used_guess)
+                           warm_started=used_guess,
+                           solve_widths=tuple(width_log),
+                           rr_sizes=tuple(rr_log))
 
 
 def _orthonormal_basis(q: np.ndarray, rank_tol: float = 1e-10) -> np.ndarray:
@@ -215,10 +231,12 @@ def _rr_step(pevp, a_lin, b_lin, q, r_outer):
 
 
 def _feast_iterate(pevp, a_lin, b_lin, factors, y, r_outer,
-                   max_iter, tol):
+                   max_iter, tol, width_log=None, rr_log=None):
     """Inner FEAST loop: filter -> Rayleigh-Ritz -> check residuals."""
     best = None
     for it in range(1, max_iter + 1):
+        if width_log is not None:
+            width_log.append(int(y.shape[1]))
         # Contour filter: Q = sum_p w_p (z_p B - A)^{-1} B Y.
         q = np.zeros_like(y)
         for z, w, fac in factors:
@@ -226,6 +244,8 @@ def _feast_iterate(pevp, a_lin, b_lin, factors, y, r_outer,
 
         lam_in, us, res, ritz_in, ritz = _rr_step(pevp, a_lin, b_lin, q,
                                                   r_outer)
+        if rr_log is not None:
+            rr_log.append(int(ritz.shape[1]))
         best = (lam_in, us, res, it, ritz_in)
         if len(lam_in) == 0 or (len(res) and res.max() < tol):
             return best
@@ -247,7 +267,7 @@ def _feast_iterate(pevp, a_lin, b_lin, factors, y, r_outer,
 class _LockstepState:
     """One energy's FEAST state while the batch advances in lock-step."""
 
-    __slots__ = ("rng", "m0", "y", "it", "best")
+    __slots__ = ("rng", "m0", "y", "it", "best", "width_log", "rr_log")
 
     def __init__(self, rng, m0: int, nbc: int):
         self.rng = rng
@@ -255,6 +275,8 @@ class _LockstepState:
         self.it = 0
         self.best = None
         self.y = None
+        self.width_log: list = []
+        self.rr_log: list = []
         self.draw(nbc)
 
     def draw(self, nbc: int) -> None:
@@ -281,8 +303,10 @@ def _lockstep_advance(st: _LockstepState, pevp, pencil, q, r_outer,
     """
     a_lin, b_lin = pencil
     st.it += 1
+    st.width_log.append(int(q.shape[1]))
     lam_in, us, res, ritz_in, ritz = _rr_step(pevp, a_lin, b_lin, q,
                                               r_outer)
+    st.rr_log.append(int(ritz.shape[1]))
     st.best = (lam_in, us, res, st.it, ritz_in)
     converged = len(lam_in) == 0 or (len(res) and res.max() < tol)
     if not converged:
@@ -304,7 +328,9 @@ def _lockstep_advance(st: _LockstepState, pevp, pencil, q, r_outer,
     return FeastResult(lambdas=lambdas, vectors=vectors,
                        residuals=residuals, iterations=iters,
                        num_solves=num_solves, subspace_size=st.m0,
-                       subspace=ritz_best)
+                       subspace=ritz_best,
+                       solve_widths=tuple(st.width_log),
+                       rr_sizes=tuple(st.rr_log))
 
 
 def _feast_lockstep(stack, r_outer, subspace, num_points, max_iter, tol,
@@ -350,10 +376,17 @@ def _feast_lockstep(stack, r_outer, subspace, num_points, max_iter, tol,
 
 
 def _feast_warm_sweep(stack, r_outer, subspace, num_points, max_iter, tol,
-                      seed, auto_expand):
-    """Sequential sweep, each energy seeded by its predecessor's subspace."""
+                      seed, auto_expand, initial_guess=None):
+    """Sequential sweep, each energy seeded by its predecessor's subspace.
+
+    ``initial_guess`` seeds the *first* energy (e.g. a cached
+    near-neighbour subspace from the persistent result store); after
+    that each energy chains from its predecessor as usual.
+    """
     results = []
     guess = None
+    if initial_guess is not None:
+        guess = np.asarray(initial_guess, dtype=complex)
     for pevp in stack.pevps:
         res = feast_annulus(pevp, r_outer=r_outer, subspace=subspace,
                             num_points=num_points, max_iter=max_iter,
@@ -368,7 +401,8 @@ def feast_annulus_batch(stack, r_outer: float = 3.0,
                         subspace: int | None = None, num_points: int = 8,
                         max_iter: int = 12, tol: float = 1e-10, seed=None,
                         auto_expand: bool = True,
-                        warm_start: bool = False) -> list:
+                        warm_start: bool = False,
+                        subspace_guess: np.ndarray | None = None) -> list:
     """FEAST over a whole energy batch; one :class:`FeastResult` per energy.
 
     ``stack`` is a :class:`~repro.obc.polynomial.PolynomialEVPStack`.  The
@@ -379,9 +413,14 @@ def feast_annulus_batch(stack, r_outer: float = 3.0,
     order, seeding each from the previous converged subspace — fewer
     refinement iterations on smooth grids, at the price of sequential
     execution and tiny (round-off level) deviations from the cold path.
+
+    ``subspace_guess`` (warm-start mode only) seeds the first energy of
+    the sweep — typically a cached near-neighbour subspace published by
+    the persistent result store.
     """
     if warm_start:
         return _feast_warm_sweep(stack, r_outer, subspace, num_points,
-                                 max_iter, tol, seed, auto_expand)
+                                 max_iter, tol, seed, auto_expand,
+                                 initial_guess=subspace_guess)
     return _feast_lockstep(stack, r_outer, subspace, num_points, max_iter,
                            tol, seed, auto_expand)

@@ -232,11 +232,18 @@ def _mode_boundary(lead: LeadBlocks, energy: float, solve_modes,
     return _boundary_from_eigs(lead, energy, pevp, lams, us, method)
 
 
-def _feast_info(res) -> dict:
+def _feast_info(res, n: int) -> dict:
+    from repro.perfmodel.bytemodel import feast_byte_model
     return {"iterations": int(res.iterations),
             "num_solves": int(res.num_solves),
             "subspace_size": int(res.subspace_size),
-            "warm_started": bool(res.warm_started)}
+            "warm_started": bool(res.warm_started),
+            # exact recorded-byte prediction for the drift verdict
+            "predicted_bytes": feast_byte_model(
+                n, res.num_solves, res.solve_widths, res.rr_sizes),
+            # converged Ritz block — persisted by the result store so
+            # cache hits can warm-start near-neighbour misses
+            "subspace": res.subspace}
 
 
 @register_obc_method("dense", uses_pevp=True)
@@ -256,7 +263,7 @@ def _obc_feast(lead: LeadBlocks, energy: float, *, pevp=None,
 
     def solve(p, **kw):
         res = feast_annulus(p, **kw)
-        info.update(_feast_info(res))
+        info.update(_feast_info(res, p.n))
         return res.lambdas, res.vectors
 
     ob = _mode_boundary(lead, energy, solve, "feast", pevp, **kwargs)
@@ -307,21 +314,24 @@ def compute_open_boundary(lead: LeadBlocks, energy: float,
 @register_obc_batch_method("feast", uses_pevp=True,
                            supports_warm_start=True)
 def _obc_feast_batch(lead: LeadBlocks, energies, *, pevps=None,
-                     warm_start: bool = False, **kwargs) -> list:
+                     warm_start: bool = False, subspace_guess=None,
+                     **kwargs) -> list:
     """Batched FEAST: stacked contour factorizations and resolvent applies
     over the whole energy batch (lock-step, bitwise == per-energy), or a
-    warm-started sequential sweep (``warm_start=True``)."""
+    warm-started sequential sweep (``warm_start=True``, optionally seeded
+    with ``subspace_guess`` — e.g. a cached neighbour's subspace)."""
     energies = [float(e) for e in energies]
     if pevps is None:
         pevps = [PolynomialEVP(lead.h_cells, lead.s_cells, e)
                  for e in energies]
     stack = PolynomialEVPStack(pevps)
-    fres = feast_annulus_batch(stack, warm_start=warm_start, **kwargs)
+    fres = feast_annulus_batch(stack, warm_start=warm_start,
+                               subspace_guess=subspace_guess, **kwargs)
     obs = []
     for pevp, e, res in zip(pevps, energies, fres):
         ob = _boundary_from_eigs(lead, e, pevp, res.lambdas, res.vectors,
                                  "feast")
-        ob.info.update(_feast_info(res))
+        ob.info.update(_feast_info(res, pevp.n))
         obs.append(ob)
     return obs
 
@@ -355,6 +365,7 @@ def _obc_decimation_batch(lead: LeadBlocks, energies, *,
 def compute_open_boundary_batch(lead: LeadBlocks, energies,
                                 method: str = "feast", pevps=None,
                                 warm_start: bool = False,
+                                subspace_guess=None,
                                 **kwargs) -> list:
     """Compute the OBCs of one lead for a whole energy batch.
 
@@ -375,6 +386,8 @@ def compute_open_boundary_batch(lead: LeadBlocks, energies,
         kw = dict(kwargs)
         if meta.get("supports_warm_start"):
             kw["warm_start"] = warm_start
+            if subspace_guess is not None:
+                kw["subspace_guess"] = subspace_guess
         if meta.get("uses_pevp"):
             kw["pevps"] = pevps
         return fn(lead, energies, **kw)

@@ -28,6 +28,7 @@ from repro.observability.export import (read_spans_jsonl, to_chrome_trace,
 from repro.observability.metrics import (Counter, Gauge, Histogram,
                                          LabeledCounter, MetricsRegistry)
 from repro.observability.report import (RooflineStage, activity_report,
+                                        cache_report, cache_totals,
                                         memory_report, memory_totals,
                                         node_activity, phase_report,
                                         phase_totals, reconcile,
@@ -56,6 +57,8 @@ __all__ = [
     "write_spans_jsonl",
     "RooflineStage",
     "activity_report",
+    "cache_report",
+    "cache_totals",
     "memory_report",
     "memory_totals",
     "node_activity",

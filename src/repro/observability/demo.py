@@ -53,7 +53,8 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                            trace_path=None, jsonl_path=None,
                            energy_batch_size: int = 2,
                            backend: str = "thread",
-                           kernel_backend: str | None = None) -> dict:
+                           kernel_backend: str | None = None,
+                           result_store=None) -> dict:
     """Run the traced production loop and collect every report input.
 
     Parameters
@@ -79,6 +80,11 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
         reconciliation holds exactly under all of them, mixed precision
         included (its ``cgetrf``/``cgetrs`` records carry analytic flop
         counts and the actual low-precision bytes).
+    result_store : optional path or :class:`~repro.cache.ResultStore` —
+        the persistent cross-run result cache.  A warm re-run merges
+        cached (k, E) results bitwise-identically; hits solve nothing,
+        so they contribute zero flops and the exact reconciliation still
+        holds (it then covers only the freshly solved remainder).
 
     Returns a dict with the production ``result``, the ``tracer``, its
     ``spans``/``metrics``, the runner ``telemetry``, the span-derived
@@ -116,7 +122,8 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                     num_k=1, num_nodes=num_nodes,
                     scf_kwargs=scf_kwargs, task_runner=runner,
                     energy_batch_size=int(energy_batch_size),
-                    use_arena=True, kernel_backend=kernel_backend)
+                    use_arena=True, kernel_backend=kernel_backend,
+                    result_store=result_store)
     finally:
         if hasattr(runner, "close"):
             runner.close()
@@ -126,7 +133,10 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
     check = reconcile(spans, runner.telemetry,
                       ledger_total_flops=ledger.total_flops,
                       ledger_total_bytes=ledger.total_bytes)
-    roofline = roofline_annotate(totals, TITAN)
+    # A fully warm result-store run solves nothing: no phase carries
+    # flops, and there is nothing to place on a roofline.
+    roofline = roofline_annotate(totals, TITAN) \
+        if any(e["flops"] > 0 for e in totals.values()) else {}
 
     out = {
         "result": result,

@@ -273,6 +273,46 @@ def reconcile(spans, traces, ledger_total_flops: int | None = None,
             "per_stage": per_stage}
 
 
+def cache_totals(spans) -> dict:
+    """Persistent-result-store view of a traced run.
+
+    Aggregates the ``category="cache"`` instants the runner and the
+    :class:`~repro.cache.ResultStore` emit: per-spectrum probe outcomes
+    (hits/misses over the scheduled (k, E) points) and eviction sweeps.
+    """
+    probes = hits = misses = evictions = freed = 0
+    for sp in spans:
+        if sp.category != "cache":
+            continue
+        if sp.name == "result-store-probe":
+            probes += 1
+            hits += int(sp.attrs.get("hits", 0))
+            misses += int(sp.attrs.get("misses", 0))
+        elif sp.name == "result-store-evict":
+            evictions += int(sp.attrs.get("removed", 0))
+            freed += int(sp.attrs.get("freed_bytes", 0))
+    total = hits + misses
+    return {"probes": probes, "hits": hits, "misses": misses,
+            "hit_rate": hits / total if total else 0.0,
+            "evictions": evictions, "freed_bytes": freed}
+
+
+def cache_report(spans) -> str:
+    """Human-readable :func:`cache_totals`: store hit rates + evictions."""
+    ct = cache_totals(spans)
+    lines = ["Persistent result store (cross-run cache)"]
+    if ct["probes"] == 0:
+        lines.append("  not active (run with a result_store)")
+        return "\n".join(lines)
+    lines.append(
+        f"  {ct['probes']} probe(s): {ct['hits']} hits / "
+        f"{ct['misses']} misses  (hit rate {ct['hit_rate']:.1%})")
+    if ct["evictions"]:
+        lines.append(f"  {ct['evictions']} eviction(s), "
+                     f"{ct['freed_bytes'] / 1e6:.1f} MB freed")
+    return "\n".join(lines)
+
+
 def memory_totals(spans, tolerance: float = 0.05) -> dict:
     """Memory-movement view of a traced run.
 

@@ -23,6 +23,8 @@ from repro.perfmodel.bytemodel import (
     rgf_byte_model,
     rgf_batched_byte_model,
     sancho_rubio_byte_model,
+    geig_bytes,
+    feast_byte_model,
     mixed_lu_factor_bytes,
     mixed_lu_solve_bytes,
     splitsolve_byte_model,
@@ -50,6 +52,8 @@ __all__ = [
     "rgf_byte_model",
     "rgf_batched_byte_model",
     "sancho_rubio_byte_model",
+    "geig_bytes",
+    "feast_byte_model",
     "mixed_lu_factor_bytes",
     "mixed_lu_solve_bytes",
     "splitsolve_byte_model",

@@ -143,6 +143,46 @@ def sancho_rubio_byte_model(n: int, iterations,
     return total_iters * per_iter
 
 
+def geig_bytes(n: int, is_complex: bool = True) -> int:
+    """Bytes one generalized eigensolve (``zggev``) records.
+
+    Matches :func:`repro.linalg.kernels.geig`: two input matrices plus
+    the eigenvalue/eigenvector outputs are priced as ``4 * nbytes(A)``.
+    """
+    return 4 * n * n * _itemsize(is_complex)
+
+
+def feast_byte_model(n: int, num_solves: int, solve_widths,
+                     rr_sizes, is_complex: bool = True) -> int:
+    """Bytes of one FEAST annulus solve at one energy.
+
+    Transcribes the recorded-kernel sequence of
+    :func:`repro.obc.feast.feast_annulus` (and, slice for slice, of the
+    lock-step batch driver, whose stacked kernels record exactly the
+    per-energy sum):
+
+    - ``num_solves`` reduced contour factorizations of the
+      ``(n, n)`` matrix ``P(z_p)``, done once up front and reused across
+      every refinement iteration *and* auto-expand attempt
+      (``num_solves = 2 * num_points``, both circles);
+    - per refinement iteration, one resolvent back-substitution per
+      contour point on an ``(n, width)`` rhs — ``solve_widths`` is the
+      per-iteration width log (``FeastResult.solve_widths``);
+    - per iteration, one Rayleigh-Ritz ``zggev`` of the reduced size in
+      ``rr_sizes`` (``FeastResult.rr_sizes``).
+
+    The Horner recurrences, SVD orthonormalization, and unit-vector
+    extraction run through plain numpy (unrecorded), so they are
+    (correctly) absent here.
+    """
+    total = num_solves * lu_factor_bytes(n, is_complex)
+    for width in solve_widths:
+        total += num_solves * lu_solve_bytes(n, int(width), is_complex)
+    for size in rr_sizes:
+        total += geig_bytes(int(size), is_complex)
+    return total
+
+
 def mixed_lu_factor_bytes(n: int, is_complex: bool = True) -> int:
     """Bytes one mixed-precision ``lu_factor_batched`` records per slice.
 

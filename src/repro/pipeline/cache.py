@@ -158,10 +158,16 @@ class DeviceCache:
             key = (float(energy), method, tuple(sorted(kwargs.items())))
         except TypeError:
             key = None
+        tracer = current_tracer()
         if key is not None:
             with self._lock:
-                if key in self._boundary_memo:
-                    return self._boundary_memo[key]
+                hit = self._boundary_memo.get(key)
+            if hit is not None:
+                if tracer is not None:
+                    tracer.metrics.counter("obc_point_cache_hits").inc()
+                return hit
+        if tracer is not None:
+            tracer.metrics.counter("obc_point_cache_misses").inc()
         if uses_pevp:
             ob = fn(self.device.lead, energy,
                     pevp=self.polynomial(energy), **kwargs)
@@ -174,7 +180,8 @@ class DeviceCache:
         return ob
 
     def boundary_batch(self, energies, method: str,
-                       warm_start: bool = False, **kwargs) -> list:
+                       warm_start: bool = False, subspace_guess=None,
+                       **kwargs) -> list:
         """Batched OpenBoundary computation with batch-aware memoization.
 
         The default (lock-step) batch path is bitwise identical to the
@@ -195,14 +202,18 @@ class DeviceCache:
             kw_key = None
 
         if warm_start:
-            key = None if kw_key is None else \
-                ("batch-warm", tuple(energies), method, kw_key)
+            # A subspace-seeded batch depends on the (external) guess, so
+            # it is never memoized — the guess is not part of a hashable
+            # key and the seeded result differs by round-off anyway.
+            key = None if (kw_key is None or subspace_guess is not None) \
+                else ("batch-warm", tuple(energies), method, kw_key)
             if key is not None:
                 with self._lock:
                     if key in self._boundary_memo:
                         return self._boundary_memo[key]
             obs = self._compute_boundary_batch(energies, method,
-                                               uses_pevp, True, kwargs)
+                                               uses_pevp, True, kwargs,
+                                               subspace_guess=subspace_guess)
             if key is not None:
                 with self._lock:
                     self._boundary_memo.setdefault(key, obs)
@@ -237,12 +248,14 @@ class DeviceCache:
         return [have[j] for j in range(len(energies))]
 
     def _compute_boundary_batch(self, energies, method, uses_pevp,
-                                warm_start, kwargs) -> list:
+                                warm_start, kwargs,
+                                subspace_guess=None) -> list:
         from repro.obc.selfenergy import compute_open_boundary_batch
         pevps = self.polynomial_batch(energies) if uses_pevp else None
         return compute_open_boundary_batch(
             self.device.lead, energies, method=method, pevps=pevps,
-            warm_start=warm_start, **kwargs)
+            warm_start=warm_start, subspace_guess=subspace_guess,
+            **kwargs)
 
 
 def as_cache(device_or_cache) -> DeviceCache:

@@ -166,7 +166,7 @@ class TransportPipeline:
         return result
 
     def solve_batch(self, device, energies, *, kpoint_index: int = -1,
-                    energy_indices=None) -> list:
+                    energy_indices=None, obc_subspace_guess=None) -> list:
         """Run one (k, E-batch) task: all stages for a whole energy vector.
 
         The batched counterpart of :meth:`solve_point`: the OBC stage
@@ -193,6 +193,10 @@ class TransportPipeline:
         run it as per-energy SplitSolve instead; a single-energy batch
         degenerates to the per-point path (:meth:`solve_point`) exactly.
 
+        ``obc_subspace_guess`` seeds the first energy of a warm-started
+        FEAST sweep (e.g. a cached near-neighbour subspace from the
+        persistent result store); ignored unless ``obc_warm_start``.
+
         Returns one :class:`EnergyPointResult` per energy, input order.
         """
         cache = as_cache(device)
@@ -204,28 +208,34 @@ class TransportPipeline:
         if len(energy_indices) != len(energies):
             raise ConfigurationError(
                 "energy_indices must match energies one-to-one")
-        if len(energies) == 1:
+        if not self.obc_warm_start:
+            obc_subspace_guess = None
+        if len(energies) == 1 and obc_subspace_guess is None:
             return [self.solve_point(cache, energies[0],
                                      kpoint_index=kpoint_index,
                                      energy_index=int(energy_indices[0]))]
         if self._workspace is None:
             return self._solve_batch_impl(cache, energies, kpoint_index,
-                                          energy_indices)
+                                          energy_indices,
+                                          obc_subspace_guess)
         with arena_scope(self._workspace):
             try:
                 return self._solve_batch_impl(cache, energies,
-                                              kpoint_index, energy_indices)
+                                              kpoint_index, energy_indices,
+                                              obc_subspace_guess)
             finally:
                 self._emit_arena_stats()
 
     def _solve_batch_impl(self, cache, energies, kpoint_index,
-                          energy_indices) -> list:
+                          energy_indices, obc_subspace_guess=None) -> list:
         with backend_scope(resolve_backend(self.backend)) as bk:
             return self._solve_batch_stages(cache, energies, kpoint_index,
-                                            energy_indices, bk)
+                                            energy_indices, bk,
+                                            obc_subspace_guess)
 
     def _solve_batch_stages(self, cache, energies, kpoint_index,
-                            energy_indices, bk) -> list:
+                            energy_indices, bk,
+                            obc_subspace_guess=None) -> list:
         ne = len(energies)
         traces = [TaskTrace(kpoint_index=kpoint_index,
                             energy_index=int(ie), energy=e)
@@ -246,6 +256,7 @@ class TransportPipeline:
         with batch_stage_scope(traces, "OBC") as sts:
             obs = cache.boundary_batch(energies, self.obc_method,
                                        warm_start=self.obc_warm_start,
+                                       subspace_guess=obc_subspace_guess,
                                        **self.obc_kwargs)
             for ob, st in zip(obs, sts):
                 st.meta["method"] = ob.method or self.obc_method

@@ -56,7 +56,8 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                          energy_batch_size: int = 1,
                          use_arena: bool = False,
                          checkpoint=None,
-                         kernel_backend: str | None = None) -> SCFResult:
+                         kernel_backend: str | None = None,
+                         result_store=None) -> SCFResult:
     """Run the self-consistent Schroedinger-Poisson loop.
 
     Parameters
@@ -87,6 +88,12 @@ def schroedinger_poisson(structure, basis, num_cells: int,
         Persist the loop state after every completed iteration — one
         (k, E) batch — and resume from it when the file already exists.
         A resumed run reproduces the uninterrupted trajectory exactly.
+    result_store : forwarded to
+        :func:`repro.core.runner.compute_spectrum`; the persistent
+        cross-run result cache.  Each SCF iteration applies a new
+        potential (new device hash → misses), but converged iterations
+        repeated across bias points or re-runs hit the store and skip
+        the solve entirely.
 
     Notes
     -----
@@ -152,7 +159,8 @@ def schroedinger_poisson(structure, basis, num_cells: int,
                 task_runner=task_runner,
                 energy_batch_size=energy_batch_size,
                 use_arena=use_arena,
-                kernel_backend=kernel_backend)
+                kernel_backend=kernel_backend,
+                result_store=result_store)
             # (ii) accumulate density (trapezoid over the energy grid)
             dev = None
             dens_orb = None

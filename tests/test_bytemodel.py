@@ -20,6 +20,8 @@ from repro.linalg.kernels import gemm, lu_factor, lu_solve, solve
 from repro.parallel import DynamicLoadBalancer
 from repro.perfmodel import (
     byte_drift,
+    feast_byte_model,
+    geig_bytes,
     gemm_bytes,
     lu_factor_bytes,
     lu_solve_bytes,
@@ -278,3 +280,76 @@ class TestMovementAwareSolverChoice:
                                    machine=fat_gpu) == "splitsolve"
         assert choose_batch_solver(24, 64, widths,
                                    machine=starved) == "rgf_batched"
+
+
+class TestFeastByteModel:
+    """The FEAST contour-solve byte model must equal the ledger exactly.
+
+    The model prices what the FEAST iteration actually moves: one reduced
+    contour factorization per quadrature point (``num_solves`` LU factors
+    of the n x n reduced system), the resolvent applies against the
+    current subspace width (logged per refinement iteration in
+    ``solve_widths``), and the Rayleigh-Ritz generalized eigensolves on
+    the projected blocks (``rr_sizes``).
+    """
+
+    def _chain_pevp(self, energy=0.5):
+        from tests.test_obc_polynomial import chain_lead
+        return chain_lead(energy=energy)[1]
+
+    def test_exact_on_solo_solve(self):
+        from repro.obc.feast import feast_annulus
+
+        pevp = self._chain_pevp()
+        with ledger_scope() as led:
+            res = feast_annulus(pevp, r_outer=3.0, seed=5)
+        assert feast_byte_model(pevp.n, res.num_solves,
+                                res.solve_widths, res.rr_sizes) \
+            == led.total_bytes
+
+    def test_exact_on_banded_random_pevp(self):
+        from repro.obc.feast import feast_annulus
+        from tests.test_obc_polynomial import random_pevp
+
+        pevp = random_pevp(n=3, nbw=2, energy=0.15, seed=7)
+        with ledger_scope() as led:
+            res = feast_annulus(pevp, r_outer=3.0, seed=5)
+        assert res.num_solves > 0 and len(res.solve_widths) >= 1
+        assert feast_byte_model(pevp.n, res.num_solves,
+                                res.solve_widths, res.rr_sizes) \
+            == led.total_bytes
+
+    @pytest.mark.parametrize("warm", [False, True])
+    def test_exact_on_batched_paths(self, warm):
+        # lockstep logs identical solve widths to the solo path by
+        # construction; the warm sweep logs whatever each seeded energy
+        # actually ran -- both must stay ledger-exact
+        from repro.obc import PolynomialEVPStack
+        from repro.obc.feast import feast_annulus_batch
+
+        pevps = [self._chain_pevp(e) for e in (0.3, 0.5, 0.7)]
+        stack = PolynomialEVPStack(pevps)
+        with ledger_scope() as led:
+            batch = feast_annulus_batch(stack, r_outer=3.0, seed=5,
+                                        warm_start=warm)
+        pred = sum(feast_byte_model(p.n, r.num_solves,
+                                    r.solve_widths, r.rr_sizes)
+                   for p, r in zip(pevps, batch))
+        assert pred == led.total_bytes
+
+    def test_geig_bytes_formula(self):
+        assert geig_bytes(6) == 4 * 6 * 6 * 16
+        assert geig_bytes(6, is_complex=False) == 4 * 6 * 6 * 8
+
+    def test_obc_feast_stage_reports_predicted_bytes(self):
+        # the pipeline's OBC stage metadata carries the model prediction
+        from repro.hamiltonian import build_device
+        from repro.obc.selfenergy import compute_open_boundary
+        from repro.structure import linear_chain
+        from tests.test_hamiltonian import single_s_basis
+
+        dev = build_device(linear_chain(4, 0.25), single_s_basis(), 4)
+        with ledger_scope() as led:
+            ob = compute_open_boundary(dev.lead, -0.45, method="feast",
+                                       seed=3)
+        assert ob.info["predicted_bytes"] == led.total_bytes

@@ -1,0 +1,507 @@
+"""Tests for the persistent content-addressed result store.
+
+The acceptance bar of the cross-run cache: a warm re-run must merge
+stored (k, E) results **bitwise-identically** to a cold run while
+solving nothing (zero ledger flops), keys must be sensitive to every
+input that determines the bitwise value (device content, applied
+potential, energy, k, solver, OBC configuration, kernel-backend
+identity), corrupt objects must degrade to misses, eviction must be
+LRU, and — under ``backend="process"`` with a forced
+``REPRO_KERNEL_BACKEND=mixed`` — backend-identity keys must prevent any
+cross-precision cache hit.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cache import (
+    RECORD_SCHEMA_VERSION,
+    ResultStore,
+    as_result_store,
+    backend_cache_identity,
+    canonical_float,
+    device_content_hash,
+    pack_result,
+    result_key,
+    unpack_result,
+)
+from repro.core.runner import SpectrumUnitSpec, _solve_unit, compute_spectrum
+from repro.hamiltonian import build_device
+from repro.linalg import ledger_scope
+from repro.observability.spans import SpanTracer, tracing
+from repro.pipeline import TransportPipeline
+from repro.structure import linear_chain
+from repro.utils.errors import ConfigurationError
+from tests.test_hamiltonian import single_s_basis
+
+ENERGIES = [-0.55, -0.45, -0.35, -0.25]
+
+
+def _spectrum(energies=ENERGIES, **kwargs):
+    return compute_spectrum(linear_chain(6, 0.25), single_s_basis(), 6,
+                            energies, obc_method="dense", solver="rgf",
+                            **kwargs)
+
+
+def _device(potential=None):
+    dev = build_device(linear_chain(6, 0.25), single_s_basis(), 6)
+    if potential is not None:
+        dev = dev.with_potential(np.asarray(potential, dtype=float))
+    return dev
+
+
+def _key(device_hash, **overrides):
+    kw = dict(obc_method="dense", obc_kwargs=None, solver="rgf",
+              num_partitions=1,
+              backend_identity=backend_cache_identity("numpy"),
+              kz=0.0, energy=-0.45)
+    kw.update(overrides)
+    return result_key(device_hash, **kw)
+
+
+def _payload(seed=0):
+    rng = np.random.default_rng(seed)
+    return {"a": rng.standard_normal((3, 3)),
+            "b": np.float64(seed + 0.5),
+            "c": rng.integers(0, 9, 4)}
+
+
+def _assert_bitwise_results(got, want):
+    assert len(got) == len(want)
+    for g, w in zip(got, want):
+        assert g.energy == w.energy
+        assert g.transmission_lr == w.transmission_lr
+        assert g.transmission_rl == w.transmission_rl
+        assert g.num_prop_left == w.num_prop_left
+        assert np.array_equal(g.mode_transmissions, w.mode_transmissions)
+        assert np.array_equal(g.psi, w.psi)
+        assert np.array_equal(g.from_left, w.from_left)
+        assert np.array_equal(g.velocities, w.velocities)
+
+
+class TestKeys:
+    def test_canonical_float_is_exact_hex(self):
+        assert canonical_float(0.1) == (0.1).hex()
+        assert canonical_float(np.float64(-2.5)) == (-2.5).hex()
+        # one-ulp differences survive the canonical form
+        assert canonical_float(0.1) != canonical_float(
+            np.nextafter(0.1, 1.0))
+
+    def test_device_hash_stable_and_potential_sensitive(self):
+        assert device_content_hash(_device()) \
+            == device_content_hash(_device())
+        pot = 0.01 * np.arange(6, dtype=float)
+        assert device_content_hash(_device(pot)) \
+            != device_content_hash(_device())
+
+    def test_key_sensitive_to_every_input(self):
+        dh = device_content_hash(_device())
+        base = _key(dh)
+        assert base == _key(dh)   # deterministic
+        others = [
+            _key(dh, energy=-0.35),
+            _key(dh, kz=0.25),
+            _key(dh, solver="splitsolve"),
+            _key(dh, obc_method="feast"),
+            _key(dh, obc_kwargs={"seed": 3}),
+            _key(dh, num_partitions=2),
+            _key(dh, backend_identity=backend_cache_identity("mixed")),
+            _key(device_content_hash(
+                _device(0.01 * np.arange(6, dtype=float)))),
+        ]
+        assert base not in others
+        assert len(set(others)) == len(others)
+
+    def test_obc_kwargs_order_independent(self):
+        dh = device_content_hash(_device())
+        assert _key(dh, obc_kwargs={"seed": 3, "r_outer": 3.0}) \
+            == _key(dh, obc_kwargs={"r_outer": 3.0, "seed": 3})
+
+    def test_deterministic_backends_share_identity(self):
+        # numpy / simulated-gpu are bitwise-identical by contract and
+        # may exchange cache entries; mixed must never alias them
+        ref = backend_cache_identity("numpy")
+        assert backend_cache_identity("simulated-gpu") == ref
+        mixed = backend_cache_identity("mixed")
+        assert mixed != ref
+        assert mixed[0] == "mixed"
+
+    def test_mixed_tolerance_gate_enters_identity(self):
+        from repro.linalg.mixed import MixedPrecisionBackend
+
+        tight = backend_cache_identity(MixedPrecisionBackend(tol=1e-10))
+        loose = backend_cache_identity(MixedPrecisionBackend(tol=1e-6))
+        assert tight != loose
+
+
+class TestStoreIO:
+    def test_put_get_roundtrip_bitwise(self, tmp_path):
+        store = ResultStore(tmp_path)
+        payload = _payload(1)
+        assert store.put("ab" * 32, payload) is True
+        assert store.contains("ab" * 32)
+        assert store.put("ab" * 32, payload) is False   # idempotent
+        rec = store.get("ab" * 32)
+        assert set(rec) == set(payload)
+        for name in payload:
+            assert np.array_equal(rec[name], np.asarray(payload[name]))
+            assert rec[name].dtype == np.asarray(payload[name]).dtype
+
+    def test_missing_key_is_miss(self, tmp_path):
+        assert ResultStore(tmp_path).get("cd" * 32) is None
+
+    def test_object_dtype_payload_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(ConfigurationError, match="object dtype"):
+            store.put("ef" * 32, {"bad": np.asarray([{}, {}])})
+
+    def test_corrupt_object_is_counted_miss_and_removed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "12" * 32
+        store.put(key, _payload(2))
+        path = store._object_path(key)
+        with open(path, "r+b") as fh:
+            fh.seek(60)
+            fh.write(b"\xff\xff\xff\xff")
+        tracer = SpanTracer()
+        with tracing(tracer):
+            assert store.get(key) is None
+        assert not os.path.exists(path)   # discarded, not retried
+        assert tracer.metrics.counter("result_store_corrupt").value == 1
+        assert tracer.metrics.counter("result_store_misses").value == 1
+
+    def test_verify_reports_corruption(self, tmp_path):
+        store = ResultStore(tmp_path)
+        good, bad = "aa" * 32, "bb" * 32
+        store.put(good, _payload(3))
+        store.put(bad, _payload(4))
+        with open(store._object_path(bad), "r+b") as fh:
+            fh.seek(70)
+            fh.write(b"\x00\x00\x00\x00")
+        report = store.verify()
+        assert report["checked"] == 2
+        assert report["corrupt"] == [bad]
+
+    def test_schema_bump_invalidates_records(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        store.put("cc" * 32, _payload(5))
+        import repro.cache.store as store_mod
+        monkeypatch.setattr(store_mod, "RECORD_SCHEMA_VERSION",
+                            RECORD_SCHEMA_VERSION + 1)
+        assert store.get("cc" * 32) is None
+
+    def test_lru_eviction_drops_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = ["%02d" % i * 32 for i in range(3)]
+        for i, key in enumerate(keys):
+            store.put(key, _payload(i))
+            os.utime(store._object_path(key), (1000.0 + i, 1000.0 + i))
+        size = os.path.getsize(store._object_path(keys[0]))
+        tracer = SpanTracer()
+        with tracing(tracer):
+            out = store.prune(2 * size)
+        assert out["removed"] == 1
+        assert not store.contains(keys[0])   # oldest evicted
+        assert store.contains(keys[1]) and store.contains(keys[2])
+        assert tracer.metrics.counter(
+            "result_store_evictions").value == 1
+        evicts = [sp for sp in tracer.records()
+                  if sp.name == "result-store-evict"]
+        assert len(evicts) == 1 and evicts[0].attrs["removed"] == 1
+
+    def test_get_touch_updates_recency(self, tmp_path):
+        store = ResultStore(tmp_path)
+        keys = ["%02d" % i * 32 for i in range(2)]
+        for i, key in enumerate(keys):
+            store.put(key, _payload(i))
+            os.utime(store._object_path(key), (1000.0 + i, 1000.0 + i))
+        store.get(keys[0])   # touch: now most recently used
+        size = os.path.getsize(store._object_path(keys[1]))
+        store.prune(size)
+        assert store.contains(keys[0])
+        assert not store.contains(keys[1])
+
+    def test_max_bytes_budget_enforced_on_put(self, tmp_path):
+        store = ResultStore(tmp_path, max_bytes=1)
+        store.put("dd" * 32, _payload(6))
+        store.put("ee" * 32, _payload(7))
+        # the freshly published object is protected; older ones go
+        assert store.stats()["objects"] == 1
+        assert store.contains("ee" * 32)
+
+    def test_stats_and_calibrations(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put("ff" * 32, _payload(8))
+        store.save_calibration("dispatch-numpy-host",
+                               {"dispatch_overhead_s": 1e-4})
+        s = store.stats()
+        assert s["objects"] == 1 and s["total_bytes"] > 0
+        assert s["calibrations"] == ["dispatch-numpy-host"]
+        assert store.load_calibration("dispatch-numpy-host") \
+            == {"dispatch_overhead_s": 1e-4}
+        assert store.load_calibration("unknown") is None
+
+    def test_as_result_store_coercion(self, tmp_path):
+        assert as_result_store(None) is None
+        store = as_result_store(tmp_path / "s")
+        assert isinstance(store, ResultStore)
+        assert as_result_store(store) is store
+        with pytest.raises(ConfigurationError):
+            as_result_store(42)
+
+
+class TestPackUnpack:
+    def test_pack_unpack_roundtrip_bitwise(self):
+        res = _spectrum().results[1]
+        rebuilt = unpack_result(pack_result(res))
+        _assert_bitwise_results([rebuilt], [res])
+        assert rebuilt.trace is None and rebuilt.boundary is None
+
+    def test_feast_subspace_rides_along(self, tmp_path):
+        spec = compute_spectrum(linear_chain(6, 0.25), single_s_basis(),
+                                6, ENERGIES[:2], obc_method="feast",
+                                solver="rgf", obc_kwargs={"seed": 3})
+        payload = pack_result(spec.results[0])
+        assert "feast_subspace" in payload
+        store = ResultStore(tmp_path)
+        store.put("99" * 32, payload)
+        rec = store.get("99" * 32)
+        assert np.array_equal(rec["feast_subspace"],
+                              payload["feast_subspace"])
+
+
+@pytest.mark.usefixtures("reference_kernel_backend")
+class TestSpectrumIntegration:
+    def test_cold_run_publishes_every_point(self, tmp_path):
+        tracer = SpanTracer()
+        with tracing(tracer):
+            _spectrum(result_store=tmp_path / "store")
+        store = ResultStore(tmp_path / "store")
+        assert store.stats()["objects"] == len(ENERGIES)
+        assert store.verify()["corrupt"] == []
+        m = tracer.metrics
+        assert m.counter("result_store_misses").value == len(ENERGIES)
+        assert m.counter("result_store_puts").value == len(ENERGIES)
+
+    def test_warm_run_bitwise_identical_with_zero_solve_flops(
+            self, tmp_path):
+        ref = _spectrum()
+        cold = _spectrum(result_store=tmp_path / "store",
+                         energy_batch_size=2)
+        assert np.array_equal(ref.transmission, cold.transmission)
+        tracer = SpanTracer()
+        with tracing(tracer):
+            with ledger_scope() as led:
+                warm = _spectrum(result_store=tmp_path / "store",
+                                 energy_batch_size=2)
+        assert np.array_equal(ref.transmission, warm.transmission)
+        assert np.array_equal(ref.mode_counts, warm.mode_counts)
+        _assert_bitwise_results(warm.results, ref.results)
+        # hits re-solve nothing: no flops, no stage spans, no traces
+        assert led.total_flops == 0
+        assert all(r.trace is None for r in warm.results)
+        assert warm.traces == []
+        assert not any(sp.category == "stage" for sp in tracer.records())
+        probes = [sp for sp in tracer.records()
+                  if sp.name == "result-store-probe"]
+        assert len(probes) == 1
+        assert probes[0].attrs["hits"] == len(ENERGIES)
+        assert probes[0].attrs["hit_rate"] == 1.0
+
+    def test_partial_hits_rebucket_bitwise(self, tmp_path):
+        ref = _spectrum()
+        # pre-populate only the alternate energies, then run the full
+        # grid batched: partially-hit units re-bucket to their misses
+        _spectrum(energies=ENERGIES[::2], result_store=tmp_path / "store")
+        tracer = SpanTracer()
+        with tracing(tracer):
+            mixed = _spectrum(result_store=tmp_path / "store",
+                              energy_batch_size=2)
+        assert np.array_equal(ref.transmission, mixed.transmission)
+        _assert_bitwise_results(mixed.results, ref.results)
+        probes = [sp for sp in tracer.records()
+                  if sp.name == "result-store-probe"]
+        assert probes[0].attrs["hits"] == len(ENERGIES[::2])
+        assert probes[0].attrs["misses"] == len(ENERGIES) \
+            - len(ENERGIES[::2])
+        # the store now holds the full grid
+        store = ResultStore(tmp_path / "store")
+        assert store.stats()["objects"] == len(ENERGIES)
+
+    def test_thread_runner_warm_run_bitwise(self, tmp_path):
+        from repro.parallel import ThreadTaskRunner
+
+        cold = _spectrum(result_store=tmp_path / "store",
+                         backend="thread", num_workers=2,
+                         energy_batch_size=2)
+        warm = _spectrum(result_store=tmp_path / "store",
+                         backend="thread", num_workers=2,
+                         energy_batch_size=2)
+        assert np.array_equal(cold.transmission, warm.transmission)
+        _assert_bitwise_results(warm.results, cold.results)
+
+    def test_checkpoint_and_store_compose(self, tmp_path):
+        ck = tmp_path / "spectrum.npz"
+        first = _spectrum(result_store=tmp_path / "store", checkpoint=ck)
+        second = _spectrum(result_store=tmp_path / "store", checkpoint=ck)
+        assert np.array_equal(first.transmission, second.transmission)
+
+    def test_feast_warm_start_seeded_from_cached_neighbors(
+            self, tmp_path):
+        kw = dict(obc_method="feast", solver="rgf",
+                  obc_kwargs={"seed": 3})
+        ref = compute_spectrum(linear_chain(6, 0.25), single_s_basis(),
+                               6, ENERGIES, **kw)
+        # cache the alternate energies, then warm-start the rest from
+        # their stored FEAST subspaces (round-off-level deviations)
+        compute_spectrum(linear_chain(6, 0.25), single_s_basis(), 6,
+                         ENERGIES[::2], result_store=tmp_path / "store",
+                         **kw)
+        warm = compute_spectrum(linear_chain(6, 0.25), single_s_basis(),
+                                6, ENERGIES, energy_batch_size=2,
+                                result_store=tmp_path / "store",
+                                obc_warm_start=True, **kw)
+        assert np.allclose(ref.transmission, warm.transmission,
+                           atol=1e-6)
+
+
+def _mixed_spectrum(store_root):
+    return _spectrum(backend="process", num_workers=2,
+                     energy_batch_size=2, result_store=store_root)
+
+
+class TestProcessBackendPrecisionIsolation:
+    """Store round-trip under ``backend="process"`` with a forced
+    ``REPRO_KERNEL_BACKEND=mixed``: workers publish concurrently, the
+    warm mixed re-run is bitwise-identical to the cold mixed run, and
+    backend-identity keys prevent any cross-precision hit."""
+
+    def test_mixed_warm_bitwise_and_no_cross_precision_hits(
+            self, tmp_path, monkeypatch):
+        store_root = tmp_path / "store"
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "mixed")
+        cold = _mixed_spectrum(store_root)
+        store = ResultStore(store_root)
+        assert store.stats()["objects"] == len(ENERGIES)
+
+        tracer = SpanTracer()
+        with tracing(tracer):
+            warm = _mixed_spectrum(store_root)
+        assert np.array_equal(cold.transmission, warm.transmission)
+        _assert_bitwise_results(warm.results, cold.results)
+        probes = [sp for sp in tracer.records()
+                  if sp.name == "result-store-probe"]
+        assert probes[0].attrs["hits"] == len(ENERGIES)
+
+        # the same store probed under the reference backend must miss
+        # everything: mixed records can never satisfy a double-precision
+        # request (and the re-run doubles the object count)
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "numpy")
+        tracer2 = SpanTracer()
+        with tracing(tracer2):
+            refrun = _mixed_spectrum(store_root)
+        probes2 = [sp for sp in tracer2.records()
+                   if sp.name == "result-store-probe"]
+        assert probes2[0].attrs["hits"] == 0
+        assert probes2[0].attrs["misses"] == len(ENERGIES)
+        assert store.stats()["objects"] == 2 * len(ENERGIES)
+        # and the reference spectrum round-trips bitwise on its own keys
+        tracer3 = SpanTracer()
+        with tracing(tracer3):
+            refwarm = _mixed_spectrum(store_root)
+        assert np.array_equal(refrun.transmission, refwarm.transmission)
+        probes3 = [sp for sp in tracer3.records()
+                   if sp.name == "result-store-probe"]
+        assert probes3[0].attrs["hits"] == len(ENERGIES)
+
+
+class TestDispatchCalibrationPersistence:
+    def test_measured_once_then_loaded(self, tmp_path, monkeypatch):
+        import repro.perfmodel.costmodel as costmodel
+        from repro.core.runner import _dispatch_overhead
+
+        calls = []
+
+        def fake_measure(*a, **kw):
+            calls.append(1)
+            return 1.25e-4
+
+        monkeypatch.setattr(costmodel, "measure_dispatch_overhead",
+                            fake_measure)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        store = ResultStore(tmp_path)
+        tracer = SpanTracer()
+        with tracing(tracer):
+            first = _dispatch_overhead(pipe, store)
+            second = _dispatch_overhead(pipe, store)
+        assert first == second == 1.25e-4
+        assert len(calls) == 1   # second call served from the store
+        m = tracer.metrics
+        assert m.counter("dispatch_calibration_misses").value == 1
+        assert m.counter("dispatch_calibration_hits").value == 1
+        names = store.stats()["calibrations"]
+        assert len(names) == 1 and names[0].startswith("dispatch-")
+
+    def test_no_store_measures_every_time(self, monkeypatch):
+        import repro.perfmodel.costmodel as costmodel
+        from repro.core.runner import _dispatch_overhead
+
+        calls = []
+        monkeypatch.setattr(costmodel, "measure_dispatch_overhead",
+                            lambda *a, **kw: calls.append(1) or 2e-4)
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        assert _dispatch_overhead(pipe, None) == 2e-4
+        assert _dispatch_overhead(pipe, None) == 2e-4
+        assert len(calls) == 2
+
+
+class TestInRunCacheCounters:
+    def test_boundary_point_memo_counts_hits_and_misses(self):
+        pipe = TransportPipeline(obc_method="dense", solver="rgf")
+        cache = pipe.cache(_device())
+        tracer = SpanTracer()
+        with tracing(tracer):
+            a = cache.boundary(-0.45, "dense")
+            b = cache.boundary(-0.45, "dense")
+            cache.boundary(-0.35, "dense")
+        assert a is b
+        m = tracer.metrics
+        assert m.counter("obc_point_cache_misses").value == 2
+        assert m.counter("obc_point_cache_hits").value == 1
+
+    def test_worker_cache_counts_builds_and_reuses(self):
+        spec = SpectrumUnitSpec(
+            structure=linear_chain(6, 0.25), basis=single_s_basis(),
+            num_cells=6, kz=0.0, potential=None, obc_method="dense",
+            solver="rgf", num_partitions=1, obc_kwargs=None,
+            energies=(-0.45, -0.35), kpoint_index=0,
+            energy_indices=(0, 1), run_token="store-test-token")
+        tracer = SpanTracer()
+        with tracing(tracer):
+            _solve_unit(spec)
+            _solve_unit(spec)
+        m = tracer.metrics
+        assert m.counter("worker_cache_misses").value == 1
+        assert m.counter("worker_cache_hits").value == 1
+
+
+class TestCacheCli:
+    def test_stats_verify_prune(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        root = str(tmp_path / "store")
+        store = ResultStore(root)
+        for i in range(2):
+            store.put("%02d" % i * 32, _payload(i))
+        assert main(["cache", "stats", root]) == 0
+        assert "2 objects" in capsys.readouterr().out
+        assert main(["cache", "verify", root]) == 0
+        path = store._object_path("00" * 32)
+        with open(path, "r+b") as fh:
+            fh.truncate(os.path.getsize(path) - 64)
+        assert main(["cache", "verify", root]) == 1
+        assert main(["cache", "prune", root]) == 2   # needs --max-bytes
+        assert main(["cache", "prune", root, "--max-bytes", "0"]) == 0
+        assert ResultStore(root).stats()["objects"] == 0
