@@ -1,0 +1,121 @@
+"""Live-telemetry overhead benchmark: bus-on vs bus-off walltime.
+
+Runs the traced production demo with the live telemetry bus off and on
+(monitor thread, anomaly detectors, SLO rules — the full streaming
+stack) in interleaved repeats, takes the minimum walltime of each mode,
+and gates the claim the live layer makes: watching a run must not
+meaningfully slow it down.
+
+* **overhead_ratio** — min(bus-on walltime) / min(bus-off walltime),
+  gated at <= 1.05 by ``benchmarks/check_regression.py`` at any
+  configuration (the bound is scale-free);
+* **dropped_events_deviation** — events the bounded bus evicted before
+  the monitor drained them, gated bitwise at 0 (the smoke stream must
+  be complete);
+* **publish_microseconds** — microbenchmarked cost of one stamped
+  publish onto the bus (informational: the per-event price paid inside
+  instrumented code).
+
+Writes ``BENCH_live.json`` at the repo root for
+``benchmarks/check_regression.py``.
+
+Run standalone (``python benchmarks/bench_live_overhead.py [--smoke]``)
+or through pytest (``pytest benchmarks/bench_live_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+
+from repro.observability.demo import traced_production_demo
+from repro.observability.live import BusPublisher, TelemetryBus
+
+JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_live.json"
+
+
+def _publish_cost(events: int = 20000) -> float:
+    """Microseconds per stamped publish onto the bus."""
+    bus = TelemetryBus(capacity=events + 1)
+    publisher = BusPublisher(bus.publish, worker="bench")
+    t0 = time.perf_counter()
+    for i in range(events):
+        publisher({"type": "task-start", "task_index": i})
+    return (time.perf_counter() - t0) / events * 1e6
+
+
+def run(smoke: bool = False, repeats: int = 3) -> dict:
+    seconds_off, seconds_on = [], []
+    events = dropped = 0
+    # interleave the modes so machine-load drift hits both equally
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        traced_production_demo(smoke=smoke)
+        seconds_off.append(time.perf_counter() - t0)
+
+        t0 = time.perf_counter()
+        out = traced_production_demo(smoke=smoke, live=True)
+        seconds_on.append(time.perf_counter() - t0)
+        events = out["live"]["events"]
+        dropped += out["live"]["dropped"]
+
+    best_off, best_on = min(seconds_off), min(seconds_on)
+    return {
+        "device": {"diameter_nm": 1.0, "length_cells": 4,
+                   "smoke": bool(smoke)},
+        "repeats": int(repeats),
+        "seconds_off": best_off,
+        "seconds_on": best_on,
+        "overhead_ratio": best_on / best_off,
+        "stream_events": int(events),
+        "dropped_events_deviation": int(dropped),
+        "publish_microseconds": _publish_cost(),
+    }
+
+
+def report(results: dict) -> str:
+    return "\n".join([
+        "Live-telemetry overhead benchmark",
+        f"  demo ({'smoke' if results['device']['smoke'] else 'full'}), "
+        f"min of {results['repeats']} interleaved repeats",
+        f"  bus off : {results['seconds_off'] * 1e3:9.2f} ms",
+        f"  bus on  : {results['seconds_on'] * 1e3:9.2f} ms "
+        f"({results['stream_events']} events, "
+        f"{results['dropped_events_deviation']} dropped)",
+        f"  overhead: {results['overhead_ratio']:.3f}x (gate <= 1.05)",
+        f"  publish : {results['publish_microseconds']:.2f} us/event",
+    ])
+
+
+def write_json(results: dict, path: Path = JSON_PATH) -> Path:
+    path.write_text(json.dumps(results, indent=2) + "\n")
+    return path
+
+
+def test_live_overhead(reportout):
+    """Smoke-scale run asserting the acceptance invariants."""
+    results = run(smoke=True, repeats=3)
+    assert results["dropped_events_deviation"] == 0
+    assert results["stream_events"] > 0
+    assert results["overhead_ratio"] <= 1.05
+    reportout(report(results))
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--smoke", action="store_true",
+                    help="CI scale: one bias point, one SCF iteration")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--json", type=Path, default=JSON_PATH)
+    args = ap.parse_args(argv)
+    results = run(smoke=args.smoke, repeats=args.repeats)
+    print(report(results))
+    path = write_json(results, args.json)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,9 @@ and fails with a non-zero exit code when a guarded quantity regressed:
 * **speedup fields** must reach ``baseline * (1 - tol)`` under the
   baseline configuration (wall-clock is hardware-noisy, so ``tol``
   defaults to 0.5) and stay above ``--min-speedup`` otherwise;
+* **overhead-ratio fields** (``*overhead_ratio*``) must stay at or
+  below 1.05 at any configuration — observing a run (the live
+  telemetry bus) may cost at most 5% walltime;
 * raw seconds are reported but never gated (different machines).
 
 A fresh file whose configuration (device geometry, energy count, batch
@@ -39,6 +42,10 @@ CONFIG_KEYS = ("device", "num_energies", "energy_batch_size",
                "num_contour_points")
 #: absolute floor for deviation comparisons (round-off scale)
 DEVIATION_FLOOR = 1e-12
+
+#: hard ceiling on any ``*overhead_ratio*`` quantity: instrumentation
+#: (the live telemetry bus) may slow a run by at most 5%
+OVERHEAD_RATIO_CEILING = 1.05
 
 
 def _config(results: dict) -> dict:
@@ -73,6 +80,12 @@ def check_file(fresh: dict, base: dict, tol: float,
         if "speedup" in key and float(value) < min_speedup:
             failures.append(
                 f"{key}: {value:.3f} below the {min_speedup:.2f} floor")
+        if "overhead_ratio" in key \
+                and float(value) > OVERHEAD_RATIO_CEILING:
+            failures.append(
+                f"{key}: {value:.3f} exceeds the "
+                f"{OVERHEAD_RATIO_CEILING:.2f} ceiling (instrumentation "
+                f"must stay near-free)")
 
     if not same_config:
         return failures      # smoke configs skip the baseline diffs

@@ -7,6 +7,9 @@ Usage::
     python -m repro run all
     python -m repro trace --out trace.json --jsonl spans.jsonl
     python -m repro trace --smoke --result-store .repro-cache
+    python -m repro trace --smoke --live-log stream.jsonl
+    python -m repro watch --replay stream.jsonl
+    python -m repro watch --follow stream.jsonl
     python -m repro report spans.jsonl
     python -m repro report --checkpoint sweep.npz
     python -m repro cache stats .repro-cache
@@ -65,6 +68,32 @@ def main(argv=None) -> int:
                              "merge prior runs' results back "
                              "bitwise-identically (warm re-runs skip "
                              "the solves)")
+    tracep.add_argument("--live", action="store_true",
+                        help="enable the live telemetry bus (rolling "
+                             "view, anomaly detectors, SLO rules) while "
+                             "the run executes")
+    tracep.add_argument("--live-log", default=None,
+                        help="record the live event stream to this "
+                             "JSONL file for 'repro watch --replay' "
+                             "(implies --live)")
+
+    watchp = sub.add_parser(
+        "watch", help="render the live-telemetry dashboard from a "
+                      "recorded stream (--replay) or a stream being "
+                      "written by a concurrent run (--follow)")
+    watchp.add_argument("--replay", default=None,
+                        help="recorded stream JSONL (from 'trace "
+                             "--live-log'); renders through the full "
+                             "aggregator/detector/SLO pipeline")
+    watchp.add_argument("--follow", default=None,
+                        help="tail a live-log file another process is "
+                             "writing and refresh until it goes idle")
+    watchp.add_argument("--frames", type=int, default=1,
+                        help="dashboard frames to render across a "
+                             "replay (default 1: final state only)")
+    watchp.add_argument("--idle-timeout", type=float, default=5.0,
+                        help="seconds of stream silence before --follow "
+                             "exits (default 5)")
 
     reportp = sub.add_parser(
         "report", help="re-derive the phase/activity reports from a span "
@@ -92,6 +121,8 @@ def main(argv=None) -> int:
 
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "watch":
+        return _cmd_watch(args)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "cache":
@@ -132,7 +163,9 @@ def _cmd_trace(args) -> int:
                                   jsonl_path=args.jsonl,
                                   backend=args.backend,
                                   kernel_backend=args.kernel_backend,
-                                  result_store=args.result_store)
+                                  result_store=args.result_store,
+                                  live=args.live,
+                                  live_log=args.live_log)
     elapsed = time.perf_counter() - t0
 
     print(f"backend: {args.backend} ({args.nodes} workers)")
@@ -161,6 +194,20 @@ def _cmd_trace(args) -> int:
     for row in demo["metrics"].as_rows():
         print("  " + row)
     print()
+    live = demo.get("live")
+    if live is not None:
+        print(f"live telemetry: {live['events']} events "
+              f"({live['published']} published, {live['dropped']} "
+              f"dropped), {len(live['alerts'])} alerts, "
+              f"{sum(1 for s in live['slo'] if not s['ok'])} SLO "
+              f"violations")
+        for alert in live["alerts"][:5]:
+            print(f"  [{alert['severity']}] {alert['kind']}: "
+                  f"{alert['message']}")
+        if demo.get("live_log"):
+            print(f"  stream recorded to {demo['live_log']} "
+                  f"({live['records_written']} records)")
+        print()
     check = demo["reconciliation"]
     print(f"reconciliation: flops "
           f"{'EXACT' if check['flops_exact'] else 'MISMATCH'} "
@@ -180,16 +227,36 @@ def _cmd_trace(args) -> int:
     if args.jsonl:
         print(f"wrote {args.jsonl}: {len(demo['spans'])} span records")
     if args.telemetry_out:
+        payload = {"backend": args.backend,
+                   "num_nodes": int(args.nodes),
+                   "reconciliation": check,
+                   "telemetry": demo["telemetry"].snapshot()}
+        if live is not None:
+            payload["live"] = {"events": live["events"],
+                               "dropped": live["dropped"],
+                               "alerts": live["alerts"],
+                               "slo": live["slo"]}
         with open(args.telemetry_out, "w") as fh:
-            json.dump({"backend": args.backend,
-                       "num_nodes": int(args.nodes),
-                       "reconciliation": check,
-                       "telemetry": demo["telemetry"].snapshot()},
-                      fh, indent=2, sort_keys=True)
+            json.dump(payload, fh, indent=2, sort_keys=True)
         print(f"wrote {args.telemetry_out}: merged telemetry snapshot")
     print(f"[trace: {elapsed:.1f} s]")
     return 0 if (check["flops_exact"] and check["bytes_exact"]
                  and check["seconds_close"]) else 1
+
+
+def _cmd_watch(args) -> int:
+    if (args.replay is None) == (args.follow is None):
+        print("watch needs exactly one of --replay or --follow",
+              file=sys.stderr)
+        return 2
+    from repro.observability.watch import watch_follow, watch_replay
+    if args.replay is not None:
+        monitor = watch_replay(args.replay, frames=args.frames)
+    else:
+        monitor = watch_follow(args.follow,
+                               idle_timeout=args.idle_timeout)
+    failing = [s for s in monitor.slo_statuses if not s.ok]
+    return 0 if not failing else 1
 
 
 def _cmd_report(args) -> int:

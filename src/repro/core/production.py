@@ -215,6 +215,11 @@ def _save_sweep(store, points, balancer, telemetry=None) -> None:
         state["balancer_history"] = np.asarray(balancer.history)
     snap = telemetry.snapshot() if telemetry is not None else None
     store.save("production", telemetry=snap, **state)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.instant("checkpoint-saved", category="checkpoint",
+                       attrs={"kind": "production",
+                              "points_done": len(points)})
 
 
 def _restore_sweep(store, bias_points, balancer, telemetry=None) -> list:

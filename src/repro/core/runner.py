@@ -601,6 +601,11 @@ def _save_spectrum(store, energies, kgrid, batch, done, trans,
     store.save("spectrum", telemetry=snap, energies=energies,
                kpoints=kgrid, energy_batch_size=batch, done=done,
                transmission=trans, mode_counts=counts)
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.instant("checkpoint-saved", category="checkpoint",
+                       attrs={"kind": "spectrum",
+                              "units_done": int(np.sum(done))})
 
 
 def _restore_spectrum(store, energies, kgrid, batch, num_units, trans,

@@ -47,6 +47,7 @@ from scipy.linalg import lapack as _lap
 from repro.linalg import flops as _fl
 from repro.linalg.backend import BackendCapabilities, KernelBackend
 from repro.linalg.batched import _check_stack, _record
+from repro.observability.spans import current_tracer
 from repro.utils.errors import SingularMatrixError
 
 #: Default relative-residual convergence gate of the refinement loop.
@@ -219,6 +220,10 @@ class MixedPrecisionBackend(KernelBackend):
         _record("cgetrf_batched", ne * _fl.lu_flops(n, True),
                 2 * a.nbytes + 3 * lu32.nbytes, t0, tag)
         self._bump(factor_calls=1)
+        tracer = current_tracer()
+        if tracer is not None:
+            # live fallback-rate detector input: slices factored in c64
+            tracer.metrics.counter("mixed_factor_slices").inc(int(ne))
         return MixedLUFactor(lu32, piv, a, bad)
 
     # -- refined solves ----------------------------------------------------
@@ -312,6 +317,11 @@ class MixedPrecisionBackend(KernelBackend):
                     f"{tag}|fallback" if tag else "fallback")
         self._bump(solve_calls=1, refine_iterations=refine_iters,
                    fallback_slices=len(failed), max_residual=max_rel)
+        if failed:
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.counter("mixed_fallback_slices").inc(
+                    len(failed))
         return x
 
     def solve_batched(self, a, b, tag: str = ""):

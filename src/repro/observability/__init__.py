@@ -19,6 +19,14 @@ One subsystem replacing the fragmented telemetry of earlier PRs:
    and roofline annotation (achieved vs. attainable GF/s per stage via
    :mod:`repro.perfmodel.roofline`), plus the span/ledger/StageTrace
    reconciliation check.
+5. Live telemetry — :class:`TelemetryBus` / :class:`LiveAggregator` /
+   :class:`LiveMonitor` stream events *while the run executes*,
+   :mod:`~repro.observability.anomaly` detectors raise typed
+   :class:`Alert` records (stragglers, byte drift, fallback spikes,
+   store-hit collapse, checkpoint overrun), and
+   :mod:`~repro.observability.health` evaluates declarative SLO rules;
+   ``python -m repro watch`` renders the dashboard live or from a
+   recorded stream.
 """
 
 from repro.observability.export import (read_spans_jsonl, to_chrome_trace,
@@ -68,9 +76,41 @@ __all__ = [
     "roofline_annotate",
     "roofline_report",
     "traced_production_demo",
+    "TelemetryBus",
+    "BusPublisher",
+    "LiveAggregator",
+    "LiveMonitor",
+    "comparable_telemetry",
+    "read_stream_jsonl",
+    "validate_stream",
+    "write_stream_jsonl",
+    "Alert",
+    "default_detectors",
+    "HealthMonitor",
+    "SLORule",
+    "SLOStatus",
+    "render_dashboard",
+    "watch_replay",
 ]
 
-_LAZY = {"traced_production_demo": "repro.observability.demo"}
+_LAZY = {
+    "traced_production_demo": "repro.observability.demo",
+    "TelemetryBus": "repro.observability.live",
+    "BusPublisher": "repro.observability.live",
+    "LiveAggregator": "repro.observability.live",
+    "LiveMonitor": "repro.observability.live",
+    "comparable_telemetry": "repro.observability.live",
+    "read_stream_jsonl": "repro.observability.live",
+    "validate_stream": "repro.observability.live",
+    "write_stream_jsonl": "repro.observability.live",
+    "Alert": "repro.observability.anomaly",
+    "default_detectors": "repro.observability.anomaly",
+    "HealthMonitor": "repro.observability.health",
+    "SLORule": "repro.observability.health",
+    "SLOStatus": "repro.observability.health",
+    "render_dashboard": "repro.observability.watch",
+    "watch_replay": "repro.observability.watch",
+}
 
 
 def __getattr__(name):

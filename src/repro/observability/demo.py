@@ -54,7 +54,9 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
                            energy_batch_size: int = 2,
                            backend: str = "thread",
                            kernel_backend: str | None = None,
-                           result_store=None) -> dict:
+                           result_store=None, live: bool = False,
+                           live_log=None, fault_injector=None,
+                           live_monitor=None) -> dict:
     """Run the traced production loop and collect every report input.
 
     Parameters
@@ -85,6 +87,21 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
         cached (k, E) results bitwise-identically; hits solve nothing,
         so they contribute zero flops and the exact reconciliation still
         holds (it then covers only the freshly solved remainder).
+    live : enable the live telemetry bus: a
+        :class:`~repro.observability.live.LiveMonitor` attaches to the
+        tracer, a background thread folds the stream into the rolling
+        view and runs the anomaly detectors / SLO rules while the run
+        executes.  The end-of-run merge path is untouched — final
+        telemetry/ledger stay bitwise identical to ``live=False``.
+    live_log : optional JSONL path; with ``live``, the event stream is
+        recorded there for ``python -m repro watch --replay``.
+    fault_injector : optional
+        :class:`~repro.runtime.faults.FaultInjector` handed to the
+        resilient wrapper (e.g. a ``slow_nodes`` profile to exercise
+        the live straggler detector).
+    live_monitor : optional pre-built
+        :class:`~repro.observability.live.LiveMonitor` (custom
+        detectors, alert sinks); implies ``live``.
 
     Returns a dict with the production ``result``, the ``tracer``, its
     ``spans``/``metrics``, the runner ``telemetry``, the span-derived
@@ -105,14 +122,25 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
     if backend == "process":
         from repro.parallel import ProcessTaskRunner
         runner = ResilientTaskRunner(
-            ProcessTaskRunner(num_workers=num_nodes), max_retries=1)
+            ProcessTaskRunner(num_workers=num_nodes), max_retries=1,
+            fault_injector=fault_injector)
     elif backend == "thread":
         runner = ResilientTaskRunner(
-            ThreadTaskRunner(num_workers=num_nodes), max_retries=1)
+            ThreadTaskRunner(num_workers=num_nodes), max_retries=1,
+            fault_injector=fault_injector)
     else:
         raise ConfigurationError(
             f"demo backend must be 'thread' or 'process', got {backend!r}")
     tracer = SpanTracer()
+    monitor = live_monitor
+    if monitor is None and (live or live_log is not None):
+        from repro.observability.live import LiveMonitor
+        monitor = LiveMonitor(live_log=live_log)
+    live_report = None
+    if monitor is not None:
+        monitor.attach(tracer, worker="node0")
+        monitor.watch_registry(runner.telemetry.metrics, scope="telemetry")
+        monitor.start()
     try:
         with tracing(tracer):
             with ledger_scope() as ledger:
@@ -127,6 +155,8 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
     finally:
         if hasattr(runner, "close"):
             runner.close()
+        if monitor is not None:
+            live_report = monitor.stop()
 
     spans = tracer.records()
     totals = phase_totals(spans)
@@ -152,6 +182,9 @@ def traced_production_demo(num_nodes: int = 2, smoke: bool = False,
         "num_nodes": int(num_nodes),
         "trace_path": None,
         "jsonl_path": None,
+        "live": live_report,
+        "live_monitor": monitor,
+        "live_log": str(live_log) if live_log is not None else None,
     }
     if trace_path is not None:
         write_chrome_trace(spans, trace_path)

@@ -58,7 +58,7 @@ def _thread_tids(spans) -> dict:
     by_id = {sp.span_id: sp for sp in spans if sp.span_id}
     tids: dict = {}
     busy_until: dict = {}          # (worker, tid) -> t_stop
-    for sp in sorted(spans, key=lambda s: (s.t_start, s.t_stop)):
+    for sp in sorted(spans, key=lambda s: (s.t_start, s.t_stop, s.seq)):
         parent = by_id.get(sp.parent_id) if sp.parent_id else None
         if parent is not None and id(parent) in tids \
                 and parent.worker == sp.worker:

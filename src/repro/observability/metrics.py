@@ -12,7 +12,10 @@ instances report one coherent total.
 
 from __future__ import annotations
 
+import math
+import re
 import threading
+from bisect import bisect_left
 
 from repro.utils.errors import ConfigurationError
 
@@ -60,16 +63,35 @@ class Gauge:
             self.set(snap["value"])
 
 
+#: default histogram bucket bounds: three log-spaced buckets per decade
+#: over 1e-9 .. 1e9 — wide enough for latencies in seconds, iteration
+#: counts, and byte volumes alike (values outside land in the two
+#: open-ended edge buckets)
+DEFAULT_BOUNDS = tuple(10.0 ** (k / 3.0) for k in range(-27, 28))
+
+
 class Histogram:
-    """Streaming count/sum/min/max of observed values."""
+    """Streaming count/sum/min/max plus fixed log-spaced bucket counts.
+
+    Bucket counts are exact integers, so merging histograms across
+    runners (or worker processes) loses no observation; they also make
+    :meth:`quantile` answerable online, which is what the live SLO
+    rules (p95 task latency) query.
+    """
 
     kind = "histogram"
 
-    def __init__(self, lock):
+    def __init__(self, lock, bounds=None):
         self.count = 0
         self.total = 0
         self.min = None
         self.max = None
+        self.bounds = tuple(float(b) for b in
+                            (bounds if bounds is not None
+                             else DEFAULT_BOUNDS))
+        #: counts[i] observes values <= bounds[i]; the final slot is the
+        #: +Inf overflow bucket
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
         self._lock = lock
 
     def observe(self, value):
@@ -78,16 +100,42 @@ class Histogram:
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
 
     @property
     def mean(self):
         with self._lock:
             return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float):
+        """Online quantile estimate from the bucket counts.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        observation, clamped to the observed ``[min, max]`` range (so
+        p50 of identical values is that value, not a bucket edge).
+        ``None`` when nothing was observed yet.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigurationError("quantile q must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return None
+            target = max(int(math.ceil(q * self.count)), 1)
+            cum = 0
+            for i, c in enumerate(self.bucket_counts):
+                cum += c
+                if cum >= target:
+                    edge = self.bounds[i] if i < len(self.bounds) \
+                        else self.max
+                    return min(max(edge, self.min), self.max)
+            return self.max
+
     def snapshot(self) -> dict:
         with self._lock:
             return {"kind": self.kind, "count": self.count,
-                    "total": self.total, "min": self.min, "max": self.max}
+                    "total": self.total, "min": self.min, "max": self.max,
+                    "bounds": list(self.bounds),
+                    "buckets": list(self.bucket_counts)}
 
     def merge_snapshot(self, snap: dict) -> None:
         with self._lock:
@@ -100,6 +148,33 @@ class Histogram:
                 ours = getattr(self, key)
                 setattr(self, key,
                         other if ours is None else pick(ours, other))
+            buckets = snap.get("buckets")
+            bounds = snap.get("bounds")
+            if buckets is not None and bounds is not None \
+                    and tuple(float(b) for b in bounds) == self.bounds:
+                for i, c in enumerate(buckets):
+                    self.bucket_counts[i] += int(c)
+            elif buckets is not None and bounds:
+                # mismatched grids: re-bin each source bucket at its
+                # upper bound (count/total stay exact; quantiles degrade
+                # to the coarser of the two grids)
+                for i, c in enumerate(buckets):
+                    if not c:
+                        continue
+                    edge = bounds[i] if i < len(bounds) \
+                        else snap.get("max", float("inf"))
+                    self.bucket_counts[
+                        bisect_left(self.bounds, edge)] += int(c)
+            elif snap["count"]:
+                # legacy bucket-less snapshot: spread at the mean
+                mean = snap["total"] / snap["count"]
+                self.bucket_counts[
+                    bisect_left(self.bounds, mean)] += int(snap["count"])
+
+
+#: separator of the optional tenant namespace inside a labeled-counter
+#: key: ``"tenantA|SOLVE"`` is tenant ``tenantA``'s ``SOLVE`` counter
+TENANT_SEP = "|"
 
 
 class LabeledCounter:
@@ -107,6 +182,12 @@ class LabeledCounter:
 
     Backs set-like telemetry too: ``quarantined_nodes`` is the label set
     of a labeled counter, so a cross-runner merge is a plain union.
+
+    Labels optionally carry a *tenant* namespace (``tenant=`` on
+    :meth:`inc`), stored as ``"tenant|label"`` keys — snapshots and
+    merges need no schema change, and the per-tenant accounting the
+    async job layer will need (fair-share SLOs, usage reports) falls
+    out of :meth:`by_tenant` for free.
     """
 
     kind = "labeled_counter"
@@ -115,17 +196,43 @@ class LabeledCounter:
         self.values: dict = {}
         self._lock = lock
 
-    def inc(self, label: str, amount=1):
-        with self._lock:
-            self.values[label] = self.values.get(label, 0) + amount
+    @staticmethod
+    def _key(label: str, tenant: str | None) -> str:
+        if tenant is None:
+            return label
+        if TENANT_SEP in str(tenant):
+            raise ConfigurationError(
+                f"tenant name may not contain {TENANT_SEP!r}: {tenant!r}")
+        return f"{tenant}{TENANT_SEP}{label}"
 
-    def get(self, label: str):
+    def inc(self, label: str, amount=1, tenant: str | None = None):
+        key = self._key(label, tenant)
         with self._lock:
-            return self.values.get(label, 0)
+            self.values[key] = self.values.get(key, 0) + amount
+
+    def get(self, label: str, tenant: str | None = None):
+        key = self._key(label, tenant)
+        with self._lock:
+            return self.values.get(key, 0)
 
     def as_dict(self) -> dict:
         with self._lock:
             return dict(self.values)
+
+    def by_tenant(self) -> dict:
+        """Nested ``{tenant: {label: value}}`` view; labels written
+        without a tenant land under the ``""`` (untenanted) key."""
+        out: dict = {}
+        for key, value in self.as_dict().items():
+            tenant, _, label = key.partition(TENANT_SEP)
+            if not label:        # no separator: untenanted label
+                tenant, label = "", key
+            out.setdefault(tenant, {})[label] = value
+        return out
+
+    def tenant_total(self, tenant: str):
+        """Summed value of every label one tenant ever incremented."""
+        return sum(self.by_tenant().get(str(tenant), {}).values())
 
     def snapshot(self) -> dict:
         return {"kind": self.kind, "values": self.as_dict()}
@@ -133,6 +240,15 @@ class LabeledCounter:
     def merge_snapshot(self, snap: dict) -> None:
         for label, value in snap["values"].items():
             self.inc(label, value)
+
+
+def _prom_num(value) -> str:
+    """Render a sample value: ints stay exact, floats use repr."""
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
 
 
 _KINDS = {cls.kind: cls for cls in (Counter, Gauge, Histogram,
@@ -205,6 +321,57 @@ class MetricsRegistry:
         reg = cls()
         reg.merge_snapshot(snap)
         return reg
+
+    def to_prometheus(self, prefix: str = "repro_") -> str:
+        """Prometheus text exposition of every metric.
+
+        One query surface for external scrapers and the in-process SLO
+        rules: counters and gauges become single samples, histograms
+        expose cumulative ``_bucket{le=...}`` series plus ``_sum`` /
+        ``_count`` (the exact ints :meth:`Histogram.quantile` reads),
+        labeled counters become ``{label=...}`` series with the tenant
+        namespace split into its own ``tenant`` label.
+        """
+        lines = []
+        for name, entry in self.snapshot().items():
+            metric = prefix + re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+            kind = entry["kind"]
+            if kind == "counter":
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric} {_prom_num(entry['value'])}")
+            elif kind == "gauge":
+                if not isinstance(entry["value"], (int, float)) \
+                        or isinstance(entry["value"], bool):
+                    continue          # non-numeric gauges are not samples
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric} {_prom_num(entry['value'])}")
+            elif kind == "histogram":
+                lines.append(f"# TYPE {metric} histogram")
+                cum = 0
+                buckets = entry.get("buckets") or []
+                bounds = entry.get("bounds") or []
+                for bound, count in zip(bounds, buckets):
+                    cum += int(count)
+                    if count:        # sparse: only non-empty buckets
+                        lines.append(
+                            f'{metric}_bucket{{le="{bound:g}"}} {cum}')
+                lines.append(
+                    f'{metric}_bucket{{le="+Inf"}} {entry["count"]}')
+                lines.append(
+                    f"{metric}_sum {_prom_num(entry['total'])}")
+                lines.append(f"{metric}_count {entry['count']}")
+            else:                     # labeled counter
+                lines.append(f"# TYPE {metric} counter")
+                for key in sorted(entry["values"]):
+                    tenant, _, label = key.partition(TENANT_SEP)
+                    if not label:
+                        tenant, label = "", key
+                    sel = f'label="{label}"' if not tenant else \
+                        f'tenant="{tenant}",label="{label}"'
+                    lines.append(
+                        f"{metric}{{{sel}}} "
+                        f"{_prom_num(entry['values'][key])}")
+        return "\n".join(lines) + "\n"
 
     def as_rows(self) -> list:
         """Human-readable ``name  value`` rows for CLI reports."""

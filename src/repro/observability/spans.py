@@ -30,7 +30,7 @@ from repro.observability.metrics import MetricsRegistry
 
 #: span categories used by the built-in instrumentation sites
 CATEGORIES = ("bias", "scf", "task", "stage", "kernel", "fault",
-              "balancer", "memory")
+              "balancer", "memory", "checkpoint")
 
 
 @dataclass
@@ -46,6 +46,11 @@ class Span:
     worker: str = "cpu"
     span_id: int = 0
     parent_id: int | None = None
+    #: monotonic registration sequence number within one tracer.  Wall
+    #: times tie (instant events especially, across worker processes),
+    #: so exporters and reports order by ``(t_start, seq)`` — the seq
+    #: makes merged/absorbed streams sort deterministically.
+    seq: int = 0
     attrs: dict = field(default_factory=dict)
 
     @property
@@ -59,7 +64,8 @@ class Span:
                 "flops": int(self.flops),
                 "bytes_moved": int(self.bytes_moved),
                 "worker": self.worker, "span_id": self.span_id,
-                "parent_id": self.parent_id, "attrs": dict(self.attrs)}
+                "parent_id": self.parent_id, "seq": int(self.seq),
+                "attrs": dict(self.attrs)}
 
     @classmethod
     def from_dict(cls, data: dict) -> "Span":
@@ -71,6 +77,7 @@ class Span:
                    worker=data.get("worker", "cpu"),
                    span_id=int(data.get("span_id", 0)),
                    parent_id=data.get("parent_id"),
+                   seq=int(data.get("seq", 0)),
                    attrs=dict(data.get("attrs", {})))
 
 
@@ -92,6 +99,12 @@ class SpanTracer:
         self.enabled = bool(enabled)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.spans: list = []
+        #: optional live-telemetry hook (a
+        #: :class:`repro.observability.live.BusPublisher`): when set,
+        #: span open/close and instant events are mirrored onto the
+        #: telemetry bus as they happen.  ``None`` (the default) costs
+        #: one attribute read per span.
+        self.publisher = None
         self._lock = threading.Lock()
         self._next_id = 1
         self._tls = threading.local()
@@ -111,9 +124,31 @@ class SpanTracer:
     def _register(self, span: Span) -> Span:
         with self._lock:
             span.span_id = self._next_id
+            span.seq = self._next_id
             self._next_id += 1
             self.spans.append(span)
         return span
+
+    def publish(self, event: dict) -> None:
+        """Forward one live-telemetry event to the attached publisher
+        (no-op without one — the disabled path is one attribute read)."""
+        pub = self.publisher
+        if pub is not None:
+            pub(event)
+
+    def _publish_span(self, sp: Span, kind: str) -> None:
+        pub = self.publisher
+        if pub is None:
+            return
+        event = {"type": kind, "name": sp.name, "category": sp.category,
+                 "span_id": sp.span_id, "worker": sp.worker}
+        if kind != "span-open":
+            event["seconds"] = sp.seconds
+            event["flops"] = int(sp.flops)
+            event["bytes"] = int(sp.bytes_moved)
+        if sp.attrs:
+            event["attrs"] = dict(sp.attrs)
+        pub(event)
 
     # -- recording ----------------------------------------------------------
 
@@ -133,6 +168,7 @@ class SpanTracer:
                   t_start=time.perf_counter(),
                   parent_id=self.current_parent_id(), attrs=dict(attrs))
         self._register(sp)
+        self._publish_span(sp, "span-open")
         stack = self._stack()
         stack.append(sp.span_id)
         try:
@@ -143,6 +179,7 @@ class SpanTracer:
         finally:
             stack.pop()
             sp.t_stop = time.perf_counter()
+            self._publish_span(sp, "span-close")
 
     def emit(self, name: str, category: str = "",
              t_start: float | None = None, t_stop: float | None = None,
@@ -171,7 +208,10 @@ class SpanTracer:
                   parent_id=(parent_id if parent_id is not None
                              else self.current_parent_id()),
                   attrs=dict(attrs or {}))
-        return self._register(sp)
+        self._register(sp)
+        self._publish_span(
+            sp, "instant" if sp.t_stop <= sp.t_start else "span-close")
+        return sp
 
     def instant(self, name: str, category: str = "",
                 worker: str | None = None,
@@ -198,11 +238,16 @@ class SpanTracer:
             parent_id = self.current_parent_id()
         spans = [Span.from_dict(d) if isinstance(d, dict) else d
                  for d in span_dicts]
+        # Adopt in the source tracer's registration order (its seq), so
+        # fresh ids/seqs are assigned deterministically regardless of the
+        # iteration order the batch arrived in.
+        spans.sort(key=lambda s: (s.seq, s.span_id))
         remap: dict = {}
         with self._lock:
             for sp in spans:
                 old = sp.span_id
                 sp.span_id = self._next_id
+                sp.seq = self._next_id
                 self._next_id += 1
                 remap[old] = sp.span_id
             for sp in spans:

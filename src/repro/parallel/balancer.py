@@ -276,6 +276,45 @@ class DynamicLoadBalancer:
         shares = weighted_shares(total, weights)
         return dict(zip(nodes, shares))
 
+    def apply_alerts(self, alerts) -> list:
+        """Consume live anomaly alerts (the streaming counterpart of
+        :meth:`record_worker_times`).
+
+        Straggler alerts re-price the named node *immediately* — its
+        speed becomes ``suggested_speed`` (the detector's fleet-relative
+        estimate) times the mean speed of the other nodes — instead of
+        waiting for the next batch of post-task traces, so the very next
+        :meth:`worker_shares` call hands the straggler fewer units.
+        Non-straggler alert kinds are ignored here.  Returns the nodes
+        that were re-priced.
+        """
+        repriced = []
+        for alert in alerts:
+            data = alert.as_dict() if hasattr(alert, "as_dict") \
+                else dict(alert)
+            if data.get("kind") != "straggler":
+                continue
+            node = str(data.get("node", ""))
+            if not node:
+                continue
+            evidence = data.get("evidence", {})
+            factor = float(evidence.get(
+                "suggested_speed",
+                1.0 / max(float(evidence.get("latency_ratio", 1.0)),
+                          1e-9)))
+            others = [s for n, s in self.node_speed.items() if n != node]
+            baseline = float(np.mean(others)) if others else 1.0
+            self.node_speed[node] = baseline * factor
+            repriced.append(node)
+            tracer = current_tracer()
+            if tracer is not None:
+                tracer.metrics.counter("live_straggler_penalties").inc()
+                tracer.instant(
+                    "live-straggler-penalty", category="balancer",
+                    attrs={"node": node, "speed": self.node_speed[node],
+                           "suggested_speed": factor})
+        return repriced
+
     def apply_telemetry(self, telemetry) -> list:
         """Quarantine every node a runner's telemetry reports dead.
 

@@ -26,13 +26,17 @@ and the worker-level shares in one feedback loop.
 
 from __future__ import annotations
 
+import queue as queue_mod
+import threading
 import time
 from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
 from multiprocessing import get_context
 
 from repro.linalg.flops import current_ledger
 from repro.observability.spans import current_tracer
-from repro.parallel.serialization import descriptor_of, execute_descriptor
+from repro.parallel.serialization import (_init_worker_heartbeat,
+                                          descriptor_of,
+                                          execute_descriptor)
 from repro.parallel.topology import weighted_shares
 from repro.runtime.resilience import RunTelemetry
 from repro.utils.errors import ConfigurationError, TaskExecutionError
@@ -98,6 +102,9 @@ class ProcessTaskRunner:
         #: units assigned per node in the most recent call
         self.last_assignment: dict = {}
         self._pool = None
+        self._heartbeat_queue = None
+        self._heartbeat_thread = None
+        self._heartbeat_stop = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -108,16 +115,59 @@ class ProcessTaskRunner:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
+            ctx = get_context(self.start_method)
+            initializer, initargs = None, ()
+            tracer = current_tracer()
+            if tracer is not None and tracer.publisher is not None:
+                # Live telemetry is on: give every spawned worker the
+                # heartbeat queue (shareable only via the pool
+                # initializer — spawn-time inheritance, not submit
+                # args) and forward its events onto the parent's bus.
+                self._heartbeat_queue = ctx.Queue()
+                initializer = _init_worker_heartbeat
+                initargs = (self._heartbeat_queue,)
+                self._start_heartbeat_drain(tracer.publisher.sink)
             self._pool = ProcessPoolExecutor(
-                max_workers=len(self.active_nodes),
-                mp_context=get_context(self.start_method))
+                max_workers=len(self.active_nodes), mp_context=ctx,
+                initializer=initializer, initargs=initargs)
         return self._pool
+
+    def _start_heartbeat_drain(self, sink) -> None:
+        """Daemon thread pumping worker heartbeat events to ``sink``
+        (the telemetry bus) — events arrive pre-stamped by the worker's
+        publisher, so they are forwarded verbatim, never re-stamped."""
+        self._heartbeat_stop = threading.Event()
+        hb_queue, stop = self._heartbeat_queue, self._heartbeat_stop
+
+        def _drain():
+            while True:
+                try:
+                    event = hb_queue.get(timeout=0.05)
+                except (queue_mod.Empty, OSError, EOFError):
+                    if stop.is_set():
+                        return
+                    continue
+                if event is None:
+                    return
+                sink(event)
+
+        self._heartbeat_thread = threading.Thread(
+            target=_drain, name="repro-heartbeat-drain", daemon=True)
+        self._heartbeat_thread.start()
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
             self._pool = None
+        if self._heartbeat_thread is not None:
+            self._heartbeat_stop.set()
+            self._heartbeat_thread.join(timeout=5.0)
+            self._heartbeat_thread = None
+            self._heartbeat_stop = None
+        if self._heartbeat_queue is not None:
+            self._heartbeat_queue.close()
+            self._heartbeat_queue = None
 
     def __enter__(self) -> "ProcessTaskRunner":
         return self
@@ -247,13 +297,21 @@ class ProcessTaskRunner:
                 node = assignment[idx]
                 if self.fault_injector is not None:
                     try:
-                        self.fault_injector.inject(idx, 0, node)
+                        delay = self.fault_injector.inject(idx, 0, node)
                     except Exception as exc:
                         failure = TaskExecutionError(
                             f"task {idx} failed on {node}: {exc}",
                             task_index=idx, node=node)
                         failure.__cause__ = exc
                         break
+                    if delay > 0.0 and traced:
+                        tracer.instant(
+                            "straggler-delay", category="fault",
+                            worker=node,
+                            attrs={"task_index": idx,
+                                   "delay_s": float(delay),
+                                   "slept": bool(self.fault_injector
+                                                 .profile.real_sleep)})
                 self.telemetry.record_attempt(retry=False)
                 futures.append(pool.submit(
                     execute_descriptor, idx, node, traced,

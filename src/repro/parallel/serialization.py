@@ -27,6 +27,40 @@ from dataclasses import dataclass, field
 
 from repro.linalg.flops import FlopLedger, device_scope, ledger_scope
 
+# -- live-telemetry heartbeat (worker side) --------------------------------
+#
+# When the parent runs a live monitor, the process pool is created with
+# ``initializer=_init_worker_heartbeat`` and a multiprocessing queue in
+# ``initargs`` (queues are only shareable through spawn-time inheritance,
+# not as submit arguments).  Worker-side publishers then stream
+# task-start/task-end and span events home while the task executes; the
+# parent's drain thread forwards them onto the telemetry bus.
+
+_HEARTBEAT_QUEUE = None
+_HEARTBEAT_PUBLISHERS: dict = {}
+
+
+def _init_worker_heartbeat(queue) -> None:
+    """Process-pool initializer: adopt the parent's heartbeat queue."""
+    global _HEARTBEAT_QUEUE
+    _HEARTBEAT_QUEUE = queue
+    _HEARTBEAT_PUBLISHERS.clear()
+
+
+def heartbeat_publisher(node: str):
+    """This worker process's live publisher for ``node`` (``None`` when
+    the parent did not establish a heartbeat pipe).  One publisher per
+    (process, node) keeps the stamped sequence numbers monotonic per
+    stream."""
+    if _HEARTBEAT_QUEUE is None:
+        return None
+    publisher = _HEARTBEAT_PUBLISHERS.get(node)
+    if publisher is None:
+        from repro.observability.live import BusPublisher
+        publisher = _HEARTBEAT_PUBLISHERS[node] = BusPublisher(
+            _HEARTBEAT_QUEUE.put, worker=node)
+    return publisher
+
 
 @dataclass(frozen=True)
 class TaskDescriptor:
@@ -98,8 +132,13 @@ def execute_descriptor(index: int, node: str, traced: bool,
 
     ledger = FlopLedger()
     tracer = SpanTracer() if traced else None
+    publisher = heartbeat_publisher(node) if traced else None
+    if tracer is not None and publisher is not None:
+        tracer.publisher = publisher
     value = None
     error = None
+    if publisher is not None:
+        publisher({"type": "task-start", "task_index": index})
     t0 = time.perf_counter()
     try:
         with ledger_scope(ledger), device_scope(node), \
@@ -114,6 +153,9 @@ def execute_descriptor(index: int, node: str, traced: bool,
                               message=str(exc),
                               traceback_text=traceback.format_exc())
     elapsed = time.perf_counter() - t0
+    if publisher is not None:
+        publisher({"type": "task-end", "task_index": index,
+                   "seconds": elapsed, "ok": error is None})
     return WorkerTaskResult(
         index=index, node=node, value=value, error=error,
         elapsed_s=elapsed, ledger=ledger.as_snapshot(),
